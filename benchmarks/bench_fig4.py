@@ -1,0 +1,80 @@
+"""Fig. 4 -- TSL improvement vs speedup factor k, segment size S and window L.
+
+Two sweeps on s13207, exactly as in the figure:
+
+* **bars**: L = 300 fixed, segment sizes S in {4, 10, 12, 20}, k swept;
+* **curves**: S = 5 fixed, window sizes L in {50, 100, 300}, k swept
+  (L = 500 is added with ``REPRO_BENCH_FULL=1``).
+
+Expected shape: the improvement increases with k and with L, and decreases
+with S; the paper reports 69-78% at k=3 rising to 80-93% at k=24 for the
+full-size test set (scaled test sets shift the absolute level but keep the
+ordering).
+"""
+
+import pytest
+
+from repro.reporting import improvement_table
+from repro.testdata.literature import tsl_improvement
+
+from conftest import full_runs_enabled, publish
+
+CIRCUIT = "s13207"
+SPEEDUPS = [3, 6, 12, 24]
+BAR_SEGMENTS = [4, 10, 12, 20]
+CURVE_WINDOWS = [50, 100, 300]
+
+
+def _bars(workbench):
+    sweep = {}
+    for k in SPEEDUPS:
+        sweep[k] = {}
+        for segment_size in BAR_SEGMENTS:
+            reduction = workbench.reduce(CIRCUIT, 300, segment_size, k)
+            sweep[k][segment_size] = round(reduction.improvement_percent, 1)
+    return sweep
+
+
+def _curves(workbench):
+    windows = CURVE_WINDOWS + ([500] if full_runs_enabled() else [])
+    sweep = {}
+    for k in SPEEDUPS:
+        sweep[k] = {}
+        for window in windows:
+            reduction = workbench.reduce(CIRCUIT, window, 5, k)
+            sweep[k][window] = round(reduction.improvement_percent, 1)
+    return sweep
+
+
+def test_fig4_bars_segment_size_sweep(benchmark, workbench):
+    sweep = benchmark.pedantic(_bars, args=(workbench,), rounds=1, iterations=1)
+    publish(
+        "fig4_bars",
+        improvement_table(
+            f"{CIRCUIT} (L=300, bars of Fig. 4)", sweep, row_label="k", column_label="S"
+        ),
+    )
+    for k in SPEEDUPS:
+        # Finer segmentation never hurts (S=4 at least as good as S=20).
+        assert sweep[k][4] >= sweep[k][20]
+    for segment_size in BAR_SEGMENTS:
+        # Higher speedup never hurts.
+        assert sweep[24][segment_size] >= sweep[3][segment_size]
+    # Meaningful reductions at the largest k.
+    assert sweep[24][4] > 50.0
+
+
+def test_fig4_curves_window_sweep(benchmark, workbench):
+    sweep = benchmark.pedantic(_curves, args=(workbench,), rounds=1, iterations=1)
+    publish(
+        "fig4_curves",
+        improvement_table(
+            f"{CIRCUIT} (S=5, curves of Fig. 4)", sweep, row_label="k",
+            column_label="L",
+        ),
+    )
+    for k in SPEEDUPS:
+        # Larger windows give larger improvements (more useless segments to skip).
+        assert sweep[k][300] >= sweep[k][50]
+    for window in CURVE_WINDOWS:
+        assert sweep[24][window] >= sweep[3][window]

@@ -1,0 +1,80 @@
+"""Multi-core SoC decompressor sharing (the Section 4 SoC experiment).
+
+The paper synthesises one decompressor for a hypothetical SoC containing all
+five ISCAS'89 cores: the LFSR, State Skip circuit, phase shifter and counters
+are implemented once and shared, while the (small) Mode Select unit is
+re-implemented per core.  This example reproduces that experiment on scaled
+calibrated test sets with the paper's L=200, S=10, k=10 setting and reports
+the shared vs per-core gate-equivalent breakdown.
+
+Run with (takes a few minutes in pure Python)::
+
+    python examples/soc_multicore.py
+
+Pass ``--quick`` to use smaller windows and test sets for a fast smoke run.
+"""
+
+import argparse
+
+from repro import CompressionConfig
+from repro.decompressor.hardware import soc_decompressor_cost
+from repro.pipeline import compress_profile
+from repro.reporting import format_table
+from repro.testdata.profiles import get_profile, profile_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use small windows/test sets for a fast smoke run",
+    )
+    parser.add_argument(
+        "--circuits",
+        nargs="*",
+        default=["s9234", "s13207", "s15850"],
+        choices=profile_names(),
+        help="which cores to place on the SoC",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        config = CompressionConfig(
+            window_length=30, segment_size=5, speedup=10, num_scan_chains=32
+        )
+        scale = 0.05
+    else:
+        config = CompressionConfig.paper_soc()
+        scale = 0.15
+
+    reports = {}
+    rows = []
+    for name in args.circuits:
+        profile = get_profile(name)
+        report = compress_profile(profile, config, scale=scale, seed=1)
+        reports[name] = report
+        rows.append(
+            {
+                "core": name,
+                "seeds": report.num_seeds,
+                "tdv_bits": report.test_data_volume,
+                "state_skip_tsl": report.state_skip_tsl,
+                "improvement_pct": round(report.improvement_percent, 1),
+                "mode_select_ge": round(report.hardware.mode_select, 1),
+            }
+        )
+    print(format_table(rows, title="Per-core results (scaled calibrated test sets)"))
+
+    soc = soc_decompressor_cost({name: r.hardware for name, r in reports.items()})
+    lo, hi = soc.mode_select_range()
+    print("SoC decompressor (shared datapath, per-core Mode Select):")
+    print(f"  shared LFSR/State-Skip/phase-shifter/counters: {soc.shared:.1f} GE")
+    print(f"  Mode Select units: {lo:.1f} .. {hi:.1f} GE per core")
+    print(f"  total: {soc.total:.1f} GE")
+    savings = 1.0 - soc.total / sum(r.hardware.total for r in reports.values())
+    print(f"  area saved by sharing vs per-core decompressors: {savings * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Design-space sweep: how k, S and L shape the test sequence length.
+
+This is the Fig. 4 study of the paper in miniature: for one core the script
+encodes the test set once per window size and then sweeps the State Skip
+speedup ``k`` and the segment size ``S`` of the reduction, printing the TSL
+improvement grid.  Because the reduction is a cheap post-processing step, the
+whole sweep re-uses each encoding.
+
+Run with::
+
+    python examples/sweep_study.py            # default: scaled s13207
+    python examples/sweep_study.py --circuit s9234 --scale 0.1
+"""
+
+import argparse
+
+from repro.config import CompressionConfig
+from repro.encoding.encoder import ReseedingEncoder
+from repro.reporting import improvement_table
+from repro.skip.reduction import reduce_sequence
+from repro.testdata.literature import tsl_improvement
+from repro.testdata.profiles import get_profile, profile_names
+from repro.testdata.synthetic import generate_test_set
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="s13207", choices=profile_names())
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--window", type=int, default=100)
+    parser.add_argument("--speedups", type=int, nargs="*", default=[3, 6, 12, 24])
+    parser.add_argument("--segments", type=int, nargs="*", default=[4, 10, 20])
+    args = parser.parse_args()
+
+    profile = get_profile(args.circuit)
+    test_set = generate_test_set(profile, seed=1, scale=args.scale)
+    print(
+        f"{args.circuit}: {len(test_set)} cubes (scaled x{args.scale}), "
+        f"LFSR {profile.lfsr_size}, window L={args.window}"
+    )
+
+    encoder = ReseedingEncoder(
+        num_cells=profile.scan_cells,
+        num_scan_chains=profile.scan_chains,
+        lfsr_size=profile.lfsr_size,
+        window_length=args.window,
+    )
+    encoding = encoder.encode(test_set)
+    print(
+        f"encoded into {encoding.num_seeds} seeds "
+        f"(TDV {encoding.test_data_volume} bits, "
+        f"window TSL {encoding.test_sequence_length} vectors)\n"
+    )
+
+    sweep = {}
+    for k in args.speedups:
+        sweep[k] = {}
+        for segment_size in args.segments:
+            reduction = reduce_sequence(
+                encoding, test_set, encoder.equations, segment_size, k
+            )
+            sweep[k][segment_size] = round(
+                tsl_improvement(
+                    reduction.test_sequence_length, encoding.test_sequence_length
+                ),
+                1,
+            )
+    print(improvement_table(args.circuit, sweep))
+    print(
+        "Reading the grid: improvement grows with the speedup factor k and "
+        "with finer segmentation (smaller S), exactly the Fig. 4 trend."
+    )
+
+
+if __name__ == "__main__":
+    main()

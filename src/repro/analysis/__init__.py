@@ -1,0 +1,16 @@
+"""Analysis extensions beyond the paper's evaluation.
+
+Currently: scan-shift power estimation (:mod:`repro.analysis.power`), which
+quantifies a side effect of test set embedding that the paper does not
+evaluate -- every applied vector (useful or skip-mode garbage) toggles the
+scan chains, so shortening the test sequence with State Skip LFSRs also cuts
+shift energy roughly proportionally.
+"""
+
+from repro.analysis.power import (
+    PowerStats,
+    sequence_power,
+    weighted_transition_metric,
+)
+
+__all__ = ["PowerStats", "sequence_power", "weighted_transition_metric"]

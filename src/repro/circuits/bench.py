@@ -1,0 +1,101 @@
+"""Reader / writer for the ISCAS ``.bench`` netlist format.
+
+The format is the lingua franca of the test-generation literature (the ISCAS
+'85/'89 benchmark circuits are distributed in it)::
+
+    # comment
+    INPUT(G1)
+    INPUT(G2)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+Only the combinational subset is supported (``DFF`` pseudo-gates are turned
+into pseudo primary inputs/outputs, which is exactly the full-scan view the
+rest of the library expects).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.circuits.netlist import Gate, GateType, Netlist
+
+_LINE_RE = re.compile(r"^\s*(\S+)\s*=\s*([A-Za-z]+)\s*\((.*)\)\s*$")
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*(\S+?)\s*\)\s*$", re.IGNORECASE)
+
+_GATE_NAMES: Dict[str, GateType] = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "inv": GateType.NOT,
+    "buf": GateType.BUF,
+    "buff": GateType.BUF,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse a ``.bench`` description into a :class:`Netlist`.
+
+    ``DFF`` gates are converted to the full-scan view: the flip-flop output
+    becomes an extra primary input (pseudo PI) and its data input an extra
+    primary output (pseudo PO).
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    pseudo_inputs: List[str] = []
+    pseudo_outputs: List[str] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.group(1).upper(), io_match.group(2)
+            if kind == "INPUT":
+                inputs.append(net)
+            else:
+                outputs.append(net)
+            continue
+        gate_match = _LINE_RE.match(line)
+        if not gate_match:
+            raise ValueError(f"cannot parse bench line: {raw_line!r}")
+        output_net, type_name, operand_text = gate_match.groups()
+        operands = [op.strip() for op in operand_text.split(",") if op.strip()]
+        type_key = type_name.lower()
+        if type_key == "dff":
+            if len(operands) != 1:
+                raise ValueError(f"DFF {output_net!r} must have exactly one input")
+            pseudo_inputs.append(output_net)
+            pseudo_outputs.append(operands[0])
+            continue
+        gate_type = _GATE_NAMES.get(type_key)
+        if gate_type is None:
+            raise ValueError(f"unknown gate type {type_name!r} in line {raw_line!r}")
+        gates.append(Gate(output=output_net, gate_type=gate_type, inputs=tuple(operands)))
+
+    return Netlist(
+        name=name,
+        inputs=inputs + pseudo_inputs,
+        outputs=outputs + pseudo_outputs,
+        gates=gates,
+    )
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialise a netlist back to ``.bench`` text."""
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({net})" for net in netlist.inputs)
+    lines.extend(f"OUTPUT({net})" for net in netlist.outputs)
+    lines.append("")
+    for gate in netlist.gates():
+        operands = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gate_type.value.upper()}({operands})")
+    return "\n".join(lines) + "\n"

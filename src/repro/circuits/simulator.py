@@ -1,0 +1,157 @@
+"""Logic simulation: two-valued, three-valued and pattern-parallel.
+
+Three entry points cover the needs of the package:
+
+* :func:`simulate` -- plain 0/1 simulation of one input vector.
+* :func:`simulate_ternary` -- 0/1/X simulation used by the PODEM test
+  generator (unknowns propagate pessimistically, the standard controlling-
+  value rules apply).
+* :func:`simulate_parallel` -- bit-parallel simulation of up to the machine
+  word width of patterns at once (each net value is a packed integer whose
+  bit ``p`` is the value under pattern ``p``); this is what makes fault
+  simulation of thousands of patterns practical in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.netlist import Gate, GateType, Netlist
+
+#: The unknown value of three-valued simulation.
+X = None
+
+
+def _eval_binary(gate: Gate, values: Dict[str, int]) -> int:
+    operands = [values[net] for net in gate.inputs]
+    gate_type = gate.gate_type
+    if gate_type in (GateType.AND, GateType.NAND):
+        result = all(operands)
+    elif gate_type in (GateType.OR, GateType.NOR):
+        result = any(operands)
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        result = sum(operands) % 2 == 1
+    elif gate_type in (GateType.BUF, GateType.NOT):
+        result = bool(operands[0])
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unsupported gate type {gate_type}")
+    if gate_type.inverting:
+        result = not result
+    return int(result)
+
+
+def simulate(netlist: Netlist, input_values: Dict[str, int]) -> Dict[str, int]:
+    """Two-valued simulation of a single fully specified input vector."""
+    values: Dict[str, int] = {}
+    for net in netlist.inputs:
+        if net not in input_values:
+            raise ValueError(f"missing value for primary input {net!r}")
+        bit = input_values[net]
+        if bit not in (0, 1):
+            raise ValueError(f"input {net!r} must be 0 or 1, got {bit!r}")
+        values[net] = bit
+    for gate in netlist.gates():
+        values[gate.output] = _eval_binary(gate, values)
+    return values
+
+
+def _eval_ternary(gate: Gate, values: Dict[str, Optional[int]]) -> Optional[int]:
+    operands = [values[net] for net in gate.inputs]
+    gate_type = gate.gate_type
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in operands):
+            result: Optional[int] = 0
+        elif all(v == 1 for v in operands):
+            result = 1
+        else:
+            result = X
+    elif gate_type in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in operands):
+            result = 1
+        elif all(v == 0 for v in operands):
+            result = 0
+        else:
+            result = X
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        if any(v is X for v in operands):
+            result = X
+        else:
+            result = sum(operands) % 2
+    else:  # BUF / NOT
+        result = operands[0]
+    if result is X:
+        return X
+    if gate_type.inverting:
+        return 1 - result
+    return result
+
+
+def simulate_ternary(
+    netlist: Netlist, input_values: Dict[str, Optional[int]]
+) -> Dict[str, Optional[int]]:
+    """Three-valued (0/1/X) simulation; missing inputs default to X."""
+    values: Dict[str, Optional[int]] = {}
+    for net in netlist.inputs:
+        bit = input_values.get(net, X)
+        if bit not in (0, 1, X):
+            raise ValueError(f"input {net!r} must be 0, 1 or None, got {bit!r}")
+        values[net] = bit
+    for gate in netlist.gates():
+        values[gate.output] = _eval_ternary(gate, values)
+    return values
+
+
+def _eval_parallel(gate: Gate, values: Dict[str, int], mask: int) -> int:
+    operands = [values[net] for net in gate.inputs]
+    gate_type = gate.gate_type
+    if gate_type in (GateType.AND, GateType.NAND):
+        result = mask
+        for value in operands:
+            result &= value
+    elif gate_type in (GateType.OR, GateType.NOR):
+        result = 0
+        for value in operands:
+            result |= value
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        result = 0
+        for value in operands:
+            result ^= value
+    else:  # BUF / NOT
+        result = operands[0]
+    if gate_type.inverting:
+        result = ~result & mask
+    return result & mask
+
+
+def simulate_parallel(
+    netlist: Netlist, input_words: Dict[str, int], num_patterns: int
+) -> Dict[str, int]:
+    """Bit-parallel simulation of ``num_patterns`` patterns at once.
+
+    ``input_words[net]`` packs the value of ``net`` under pattern ``p`` into
+    bit ``p``.  The return value uses the same packing for every net of the
+    circuit.
+    """
+    if num_patterns < 1:
+        raise ValueError("num_patterns must be positive")
+    mask = (1 << num_patterns) - 1
+    values: Dict[str, int] = {}
+    for net in netlist.inputs:
+        if net not in input_words:
+            raise ValueError(f"missing packed value for primary input {net!r}")
+        values[net] = input_words[net] & mask
+    for gate in netlist.gates():
+        values[gate.output] = _eval_parallel(gate, values, mask)
+    return values
+
+
+def pack_patterns(
+    netlist: Netlist, patterns: Sequence[Dict[str, int]]
+) -> Dict[str, int]:
+    """Pack a list of per-pattern input assignments into parallel words."""
+    words = {net: 0 for net in netlist.inputs}
+    for position, pattern in enumerate(patterns):
+        for net in netlist.inputs:
+            if pattern.get(net, 0):
+                words[net] |= 1 << position
+    return words

@@ -1,0 +1,213 @@
+"""Command-line interface of the State Skip LFSR flow.
+
+Three sub-commands cover the day-to-day uses of the library without writing
+Python:
+
+``compress``
+    Compress a test set (a ``.tests`` text file of 0/1/X cube strings, or a
+    calibrated benchmark profile) and print the figures of merit.
+
+``sweep``
+    Sweep the speedup factor ``k`` and segment size ``S`` for one test set
+    and print the Fig. 4-style TSL-improvement grid.
+
+``atpg``
+    Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
+    random circuit) and write the resulting test-cube file.
+
+Examples
+--------
+::
+
+    python -m repro compress --profile s13207 --scale 0.1 -L 100 -S 10 -k 12
+    python -m repro compress --tests my_core.tests --chains 16 -L 60 -k 8
+    python -m repro sweep --profile s9234 --scale 0.1 -L 100
+    python -m repro atpg --bench my_core.bench --output my_core.tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.config import CompressionConfig
+from repro.pipeline import compress
+from repro.reporting import format_table, improvement_table
+from repro.testdata.literature import tsl_improvement
+from repro.testdata.profiles import get_profile, profile_names
+from repro.testdata.synthetic import generate_test_set
+from repro.testdata.test_set import TestSet
+
+
+def _load_test_set(args: argparse.Namespace) -> TestSet:
+    """Resolve the test set from either --tests or --profile."""
+    if args.tests:
+        path = Path(args.tests)
+        return TestSet.from_text(path.read_text(), name=path.stem)
+    if args.profile:
+        profile = get_profile(args.profile)
+        return generate_test_set(profile, seed=args.seed, scale=args.scale)
+    raise SystemExit("either --tests or --profile is required")
+
+
+def _config_from_args(args: argparse.Namespace, test_set: TestSet) -> CompressionConfig:
+    lfsr_size = args.lfsr
+    if lfsr_size is None and args.profile:
+        lfsr_size = get_profile(args.profile).lfsr_size
+    return CompressionConfig(
+        window_length=args.window,
+        segment_size=min(args.segment, args.window),
+        speedup=args.speedup,
+        num_scan_chains=args.chains,
+        lfsr_size=lfsr_size,
+    )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("test-set source")
+    source.add_argument("--tests", help="path to a 0/1/X cube file (one cube per line)")
+    source.add_argument(
+        "--profile", choices=profile_names(), help="calibrated benchmark profile"
+    )
+    source.add_argument("--scale", type=float, default=0.1,
+                        help="cube-count scale for --profile (default 0.1)")
+    source.add_argument("--seed", type=int, default=1, help="generator RNG seed")
+    hw = parser.add_argument_group("decompressor parameters")
+    hw.add_argument("-L", "--window", type=int, default=100, help="window length L")
+    hw.add_argument("-S", "--segment", type=int, default=10, help="segment size S")
+    hw.add_argument("-k", "--speedup", type=int, default=12, help="State Skip speedup k")
+    hw.add_argument("--chains", type=int, default=32, help="number of scan chains")
+    hw.add_argument("--lfsr", type=int, default=None, help="LFSR size (default: auto)")
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    test_set = _load_test_set(args)
+    config = _config_from_args(args, test_set)
+    report = compress(test_set, config, verify=True, simulate=args.simulate)
+    rows = [report.summary()]
+    print(format_table(rows, title="State Skip LFSR compression"))
+    print(
+        format_table(
+            [report.hardware.breakdown()],
+            title="Decompressor hardware (gate equivalents)",
+        )
+    )
+    if args.simulate:
+        print(
+            f"decompressor simulation: {report.simulation.vectors_applied} vectors, "
+            f"all {report.encoding.num_cubes} cubes delivered"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.encoding.encoder import encode_test_set
+    from repro.encoding.encoder import ReseedingEncoder
+    from repro.skip.reduction import reduce_sequence
+
+    test_set = _load_test_set(args)
+    lfsr_size = args.lfsr
+    if lfsr_size is None and args.profile:
+        lfsr_size = get_profile(args.profile).lfsr_size
+    if lfsr_size is None:
+        lfsr_size = test_set.max_specified() + 8
+    encoder = ReseedingEncoder(
+        num_cells=test_set.num_cells,
+        num_scan_chains=min(args.chains, test_set.num_cells),
+        lfsr_size=lfsr_size,
+        window_length=args.window,
+    )
+    encoding = encoder.encode(test_set)
+    print(
+        f"{test_set.name}: {len(test_set)} cubes, {encoding.num_seeds} seeds, "
+        f"TDV {encoding.test_data_volume} bits, window TSL "
+        f"{encoding.test_sequence_length} vectors\n"
+    )
+    sweep = {}
+    for k in args.speedups:
+        sweep[k] = {}
+        for segment_size in args.segments:
+            reduction = reduce_sequence(
+                encoding, test_set, encoder.equations,
+                min(segment_size, args.window), k,
+            )
+            sweep[k][segment_size] = round(
+                tsl_improvement(
+                    reduction.test_sequence_length, encoding.test_sequence_length
+                ),
+                1,
+            )
+    print(improvement_table(test_set.name, sweep))
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.circuits.atpg import generate_test_set_for_netlist
+    from repro.circuits.bench import parse_bench
+    from repro.circuits.generator import random_netlist
+
+    if args.bench:
+        path = Path(args.bench)
+        netlist = parse_bench(path.read_text(), name=path.stem)
+    else:
+        netlist = random_netlist(
+            "generated", num_inputs=args.inputs, num_gates=args.gates, seed=args.seed
+        )
+    result = generate_test_set_for_netlist(netlist, fill_seed=args.seed)
+    stats = result.test_set.stats()
+    print(
+        f"{netlist.name}: {netlist.num_gates} gates, "
+        f"{result.total_faults} collapsed faults, "
+        f"coverage {result.effective_coverage_percent:.1f}%, "
+        f"{stats.num_cubes} cubes (s_max={stats.max_specified})"
+    )
+    if args.output:
+        Path(args.output).write_text(result.test_set.to_text())
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="State Skip LFSR test set embedding"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compress_parser = sub.add_parser("compress", help="compress a test set")
+    _add_common_options(compress_parser)
+    compress_parser.add_argument(
+        "--simulate", action="store_true",
+        help="replay the clock-level decompressor simulation",
+    )
+    compress_parser.set_defaults(func=_cmd_compress)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep k and S (Fig. 4 style)")
+    _add_common_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--speedups", type=int, nargs="*", default=[3, 6, 12, 24]
+    )
+    sweep_parser.add_argument("--segments", type=int, nargs="*", default=[4, 10, 20])
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    atpg_parser = sub.add_parser("atpg", help="run PODEM ATPG on a netlist")
+    atpg_parser.add_argument("--bench", help="path to a .bench netlist")
+    atpg_parser.add_argument("--inputs", type=int, default=32,
+                             help="inputs of the generated circuit (no --bench)")
+    atpg_parser.add_argument("--gates", type=int, default=150,
+                             help="gates of the generated circuit (no --bench)")
+    atpg_parser.add_argument("--seed", type=int, default=1)
+    atpg_parser.add_argument("--output", help="write the cube file here")
+    atpg_parser.set_defaults(func=_cmd_atpg)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

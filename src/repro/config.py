@@ -1,0 +1,97 @@
+"""Configuration of the full compression pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """All knobs of the State-Skip-LFSR test-set-embedding flow.
+
+    Attributes
+    ----------
+    window_length:
+        Window size ``L``: the number of pseudo-random vectors each seed is
+        expanded into (Table 1 sweeps 50..500; 1 reproduces classical
+        reseeding).
+    segment_size:
+        Segment size ``S`` of the sequence-reduction method (Section 3.2).
+    speedup:
+        State Skip speedup factor ``k`` (Section 3.1; the paper uses k <= 24
+        and 32 in the hardware study).
+    num_scan_chains:
+        Scan chains of the core under test (32 in all paper experiments).
+    lfsr_size:
+        LFSR size ``n``.  ``None`` sizes it automatically as ``s_max + 8``.
+    phase_taps:
+        XOR taps per phase-shifter output.
+    phase_seed / fill_seed:
+        RNG seeds of the phase-shifter construction and the pseudo-random
+        fill of free seed variables (fixed for reproducibility).
+    alignment:
+        ``"exact"`` or ``"ideal"`` useless-segment clock accounting (see
+        :class:`repro.skip.reduction.ReductionConfig`).
+    force_first_segment_useful:
+        Keep the first segment of every seed useful (the paper's architecture
+        assumption).
+    max_phase_retries:
+        How many alternative phase shifters to try when a cube hits a
+        structural linear dependency.
+    """
+
+    window_length: int = 200
+    segment_size: int = 10
+    speedup: int = 10
+    num_scan_chains: int = 32
+    lfsr_size: Optional[int] = None
+    phase_taps: int = 3
+    phase_seed: int = 2008
+    fill_seed: int = 2008
+    alignment: str = "exact"
+    force_first_segment_useful: bool = True
+    max_phase_retries: int = 4
+
+    def __post_init__(self):
+        if self.window_length < 1:
+            raise ValueError("window_length must be positive")
+        if not 1 <= self.segment_size <= self.window_length:
+            raise ValueError("segment_size must be in [1, window_length]")
+        if self.speedup < 1:
+            raise ValueError("speedup must be at least 1")
+        if self.num_scan_chains < 1:
+            raise ValueError("num_scan_chains must be positive")
+        if self.lfsr_size is not None and self.lfsr_size < 2:
+            raise ValueError("lfsr_size must be at least 2")
+        if self.phase_taps < 1:
+            raise ValueError("phase_taps must be at least 1")
+        if self.alignment not in ("exact", "ideal"):
+            raise ValueError("alignment must be 'exact' or 'ideal'")
+        if self.max_phase_retries < 0:
+            raise ValueError("max_phase_retries must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_soc(cls) -> "CompressionConfig":
+        """The multi-core SoC setting of Section 4: L=200, S=10, k=10."""
+        return cls(window_length=200, segment_size=10, speedup=10)
+
+    @classmethod
+    def fast(cls) -> "CompressionConfig":
+        """A small-window setting for quick experiments and unit tests."""
+        return cls(window_length=30, segment_size=5, speedup=6)
+
+    def with_window(self, window_length: int) -> "CompressionConfig":
+        """Copy with a different window length (segment size clipped)."""
+        return replace(
+            self,
+            window_length=window_length,
+            segment_size=min(self.segment_size, window_length),
+        )
+
+    def with_updates(self, **changes) -> "CompressionConfig":
+        """Copy with arbitrary field changes (validated by the constructor)."""
+        return replace(self, **changes)

@@ -1,0 +1,45 @@
+"""The on-chip decompression architecture (Section 3.3 of the paper).
+
+The architecture of Fig. 3 consists of the State Skip LFSR + phase shifter,
+six small counters (Bit, Vector, Segment, Useful Segment, Seed, Group), and a
+combinational Mode Select unit that raises the Normal/State-Skip select line
+exactly for the useful segments.
+
+* :mod:`~repro.decompressor.counters` -- the counter primitives and their
+  widths.
+* :mod:`~repro.decompressor.mode_select` -- the Mode Select unit (behaviour
+  and decoding-cost model).
+* :mod:`~repro.decompressor.architecture` -- a clock-level simulation of the
+  whole decompressor that replays a reduction schedule and checks that every
+  test cube really reaches the scan chains.
+* :mod:`~repro.decompressor.hardware` -- the gate-equivalent cost model used
+  to reproduce the Section 4 hardware-overhead figures.
+"""
+
+from repro.decompressor.counters import Counter, CounterBank, counter_width
+from repro.decompressor.mode_select import ModeSelectUnit
+from repro.decompressor.architecture import (
+    DecompressionController,
+    Decompressor,
+    SimulationOutcome,
+)
+from repro.decompressor.hardware import (
+    GateCostModel,
+    HardwareReport,
+    decompressor_cost,
+    soc_decompressor_cost,
+)
+
+__all__ = [
+    "Counter",
+    "CounterBank",
+    "counter_width",
+    "ModeSelectUnit",
+    "DecompressionController",
+    "Decompressor",
+    "SimulationOutcome",
+    "GateCostModel",
+    "HardwareReport",
+    "decompressor_cost",
+    "soc_decompressor_cost",
+]

@@ -1,0 +1,245 @@
+"""Clock-level simulation of the decompression architecture (Fig. 3).
+
+The simulation replays a :class:`~repro.skip.reduction.ReductionResult`
+exactly the way the hardware would:
+
+* seeds are applied group by group (Group counter), in ascending order of
+  useful-segment count;
+* for every seed, segments are generated one after another until the seed's
+  last useful segment, as dictated by the Useful Segment counter;
+* the Mode Select unit decides per segment whether the State Skip LFSR runs
+  in Normal mode (useful segment: ``S * r`` clocks, one test vector every
+  ``r`` clocks) or in State Skip mode (useless segment: ``floor(S*r/k)`` skip
+  clocks plus ``S*r mod k`` normal clocks, so the register lands exactly on
+  the next segment boundary);
+* every clock, the phase shifter outputs are shifted into the scan chains.
+
+The outcome reports the applied-vector count (which must equal the reduction's
+TSL accounting) and the set of fully-shifted useful vectors, which must cover
+every cube of the original test set -- the end-to-end correctness check of
+the whole flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import GF2Matrix
+from repro.lfsr.lfsr import LFSR, LFSRMode
+from repro.lfsr.phase_shifter import PhaseShifter
+from repro.lfsr.state_skip import StateSkipLFSR
+from repro.scan.architecture import ScanArchitecture
+from repro.decompressor.counters import CounterBank
+from repro.decompressor.mode_select import ModeSelectUnit
+from repro.encoding.results import EncodingResult
+from repro.skip.reduction import ReductionResult
+from repro.testdata.test_set import TestSet
+
+
+@dataclass
+class SimulationOutcome:
+    """What the decompressor produced when replaying a reduction schedule."""
+
+    seeds_applied: int
+    vectors_applied: int
+    useful_vectors: List[int]
+    lfsr_clocks: int
+    skip_clocks: int
+    group_sizes: Dict[int, int] = field(default_factory=dict)
+
+    def uncovered_cubes(self, test_set: TestSet) -> List[int]:
+        """Cubes not covered by any fully generated useful vector."""
+        return test_set.uncovered_cubes(self.useful_vectors)
+
+    def covers(self, test_set: TestSet) -> bool:
+        """True when every cube of the test set was applied to the CUT."""
+        return not self.uncovered_cubes(test_set)
+
+
+class Decompressor:
+    """The State Skip LFSR + phase shifter + scan-chain datapath."""
+
+    def __init__(
+        self,
+        transition: GF2Matrix,
+        phase_shifter: PhaseShifter,
+        architecture: ScanArchitecture,
+        speedup: int,
+    ):
+        if phase_shifter.lfsr_size != transition.ncols:
+            raise ValueError("phase shifter width does not match the LFSR size")
+        if phase_shifter.num_outputs < architecture.num_chains:
+            raise ValueError("phase shifter drives fewer outputs than scan chains")
+        self._lfsr = StateSkipLFSR(LFSR(transition), speedup)
+        self._phase_shifter = phase_shifter
+        self._architecture = architecture
+        # Scan-chain shift registers: chains[j][d] = value at depth d.
+        self._chains: List[List[int]] = [
+            [0] * architecture.chain_length for _ in range(architecture.num_chains)
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def lfsr(self) -> StateSkipLFSR:
+        return self._lfsr
+
+    @property
+    def architecture(self) -> ScanArchitecture:
+        return self._architecture
+
+    @property
+    def phase_shifter(self) -> PhaseShifter:
+        return self._phase_shifter
+
+    # ------------------------------------------------------------------
+    # Datapath operation
+    # ------------------------------------------------------------------
+    def load_seed(self, seed: BitVector) -> None:
+        self._lfsr.load(seed)
+
+    def shift_clock(self) -> None:
+        """One shift clock: phase-shifter outputs enter the chains, LFSR steps.
+
+        The LFSR mode (Normal or State Skip) decides how far the register
+        advances; the scan chains shift by one position either way.
+        """
+        outputs = self._phase_shifter.apply(self._lfsr.state)
+        for chain_index, chain in enumerate(self._chains):
+            chain.insert(0, outputs[chain_index])
+            chain.pop()
+        self._lfsr.step()
+
+    def captured_vector(self) -> int:
+        """The test vector currently sitting in the scan chains (packed)."""
+        value = 0
+        arch = self._architecture
+        for cell in range(arch.num_cells):
+            chain = cell % arch.num_chains
+            depth = cell // arch.num_chains
+            if self._chains[chain][depth]:
+                value |= 1 << cell
+        return value
+
+    def set_mode(self, mode: LFSRMode) -> None:
+        self._lfsr.set_mode(mode)
+
+
+class DecompressionController:
+    """The counter-based controller that sequences seeds and segments."""
+
+    def __init__(self, decompressor: Decompressor):
+        self._decompressor = decompressor
+
+    def run(
+        self,
+        encoding: EncodingResult,
+        reduction: ReductionResult,
+        collect_vectors: bool = True,
+    ) -> SimulationOutcome:
+        """Replay a reduction schedule through the datapath.
+
+        The reduction must have been produced with the ``"exact"`` alignment
+        model -- the hardware has no way of re-synchronising after the
+        fractional jumps assumed by the ``"ideal"`` first-order model.
+        """
+        if reduction.config.alignment != "exact":
+            raise ValueError(
+                "the decompressor simulation requires the 'exact' alignment model"
+            )
+        if reduction.config.speedup != self._decompressor.lfsr.k:
+            raise ValueError(
+                "reduction speedup does not match the State Skip circuit"
+            )
+        arch = self._decompressor.architecture
+        chain_length = arch.chain_length
+        segment_size = reduction.config.segment_size
+
+        mode_select = ModeSelectUnit(
+            [schedule.useful_segments for schedule in reduction.schedules],
+            reduction.num_segments_per_window,
+        )
+        groups = reduction.seed_groups()
+        max_group_size = max((len(s) for s in groups.values()), default=1)
+        max_useful = max((count for count in groups), default=1)
+        counters = CounterBank.dimension(
+            chain_length=chain_length,
+            segment_size=segment_size,
+            segments_per_window=reduction.num_segments_per_window,
+            max_useful_segments=max_useful,
+            max_group_size=max_group_size,
+        )
+
+        useful_vectors: List[int] = []
+        vectors_applied = 0
+        lfsr_clocks = 0
+        skip_clocks = 0
+        seeds_applied = 0
+        schedules = {s.seed_index: s for s in reduction.schedules}
+
+        for group_count, seed_indices in groups.items():
+            counters.group.load(min(group_count, counters.group.max_value))
+            counters.seed.reset()
+            for seed_index in seed_indices:
+                record = encoding.seeds[seed_index]
+                schedule = schedules[seed_index]
+                self._decompressor.load_seed(record.seed)
+                counters.useful_segment.load(
+                    min(group_count, counters.useful_segment.max_value)
+                )
+                counters.segment.reset()
+                seeds_applied += 1
+                for plan in schedule.segments:
+                    useful = mode_select.mode(seed_index, plan.segment_index)
+                    if useful:
+                        self._decompressor.set_mode(LFSRMode.NORMAL)
+                        for _ in range(plan.vectors_applied):
+                            for _ in range(chain_length):
+                                self._decompressor.shift_clock()
+                                lfsr_clocks += 1
+                            vectors_applied += 1
+                            if collect_vectors:
+                                useful_vectors.append(
+                                    self._decompressor.captured_vector()
+                                )
+                    else:
+                        self._decompressor.set_mode(LFSRMode.STATE_SKIP)
+                        for _ in range(plan.skip_clocks):
+                            self._decompressor.shift_clock()
+                            lfsr_clocks += 1
+                            skip_clocks += 1
+                        self._decompressor.set_mode(LFSRMode.NORMAL)
+                        remainder = plan.lfsr_clocks - plan.skip_clocks
+                        for _ in range(remainder):
+                            self._decompressor.shift_clock()
+                            lfsr_clocks += 1
+                        vectors_applied += plan.vectors_applied
+                counters.seed.increment()
+            counters.group.increment()
+
+        return SimulationOutcome(
+            seeds_applied=seeds_applied,
+            vectors_applied=vectors_applied,
+            useful_vectors=useful_vectors,
+            lfsr_clocks=lfsr_clocks,
+            skip_clocks=skip_clocks,
+            group_sizes={count: len(seeds) for count, seeds in groups.items()},
+        )
+
+
+def simulate_decompression(
+    encoding: EncodingResult,
+    reduction: ReductionResult,
+    transition: GF2Matrix,
+    phase_shifter: PhaseShifter,
+    architecture: ScanArchitecture,
+) -> SimulationOutcome:
+    """Convenience wrapper: build the datapath and replay a schedule."""
+    decompressor = Decompressor(
+        transition, phase_shifter, architecture, reduction.config.speedup
+    )
+    controller = DecompressionController(decompressor)
+    return controller.run(encoding, reduction)

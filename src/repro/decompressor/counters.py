@@ -1,0 +1,154 @@
+"""Counter primitives of the decompression controller.
+
+The controller of Fig. 3 is built from six small counters:
+
+========  =====================================================================
+Bit       counts the shift cycles of one test vector (0 .. r-1)
+Vector    counts the vectors of one segment (0 .. S-1)
+Segment   counts the segments generated for the current seed
+Useful    counts down the useful segments remaining for the current seed
+Seed      counts the seeds of the current seed-group
+Group     counts the seed-groups (its value = useful segments per seed)
+========  =====================================================================
+
+The :class:`Counter` model is deliberately simple -- load, increment /
+decrement, wrap detection -- because the controller logic itself lives in
+:class:`repro.decompressor.architecture.DecompressionController`; what matters
+here is having an explicit register-level object whose width feeds the
+gate-equivalent cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+def counter_width(max_value: int) -> int:
+    """Number of flip-flops needed to count up to ``max_value`` inclusive."""
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    if max_value == 0:
+        return 1
+    return max_value.bit_length()
+
+
+class Counter:
+    """A loadable up/down counter with wrap detection."""
+
+    def __init__(self, name: str, max_value: int):
+        if max_value < 0:
+            raise ValueError("max_value must be non-negative")
+        self._name = name
+        self._max_value = max_value
+        self._width = counter_width(max_value)
+        self._value = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def max_value(self) -> int:
+        return self._max_value
+
+    @property
+    def width(self) -> int:
+        """Register width in flip-flops."""
+        return self._width
+
+    def is_zero(self) -> bool:
+        return self._value == 0
+
+    def at_max(self) -> bool:
+        return self._value == self._max_value
+
+    # ------------------------------------------------------------------
+    # Operation
+    # ------------------------------------------------------------------
+    def load(self, value: int) -> None:
+        if not 0 <= value <= self._max_value:
+            raise ValueError(
+                f"{self._name}: cannot load {value} (max {self._max_value})"
+            )
+        self._value = value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def increment(self) -> bool:
+        """Count up by one; returns True when the counter wraps to zero."""
+        if self._value == self._max_value:
+            self._value = 0
+            return True
+        self._value += 1
+        return False
+
+    def decrement(self) -> bool:
+        """Count down by one; returns True when the counter hits zero."""
+        if self._value == 0:
+            raise ValueError(f"{self._name}: decrement below zero")
+        self._value -= 1
+        return self._value == 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self._name!r}, value={self._value}, max={self._max_value})"
+
+
+@dataclass
+class CounterBank:
+    """The six controller counters, dimensioned for one reduction result.
+
+    Parameters mirror Fig. 3: chain length ``r`` (Bit), segment size ``S``
+    (Vector), segments per window (Segment), maximum useful segments per seed
+    (Useful Segment and Group), and the largest seed-group size (Seed).
+    """
+
+    bit: Counter
+    vector: Counter
+    segment: Counter
+    useful_segment: Counter
+    seed: Counter
+    group: Counter
+
+    @classmethod
+    def dimension(
+        cls,
+        chain_length: int,
+        segment_size: int,
+        segments_per_window: int,
+        max_useful_segments: int,
+        max_group_size: int,
+    ) -> "CounterBank":
+        return cls(
+            bit=Counter("bit", max(chain_length - 1, 0)),
+            vector=Counter("vector", max(segment_size - 1, 0)),
+            segment=Counter("segment", max(segments_per_window - 1, 0)),
+            useful_segment=Counter("useful_segment", max(max_useful_segments, 1)),
+            seed=Counter("seed", max(max_group_size - 1, 0)),
+            group=Counter("group", max(max_useful_segments, 1)),
+        )
+
+    def counters(self) -> List[Counter]:
+        return [
+            self.bit,
+            self.vector,
+            self.segment,
+            self.useful_segment,
+            self.seed,
+            self.group,
+        ]
+
+    def total_flip_flops(self) -> int:
+        """Total register bits of the controller counters."""
+        return sum(counter.width for counter in self.counters())
+
+    def widths(self) -> Dict[str, int]:
+        return {counter.name: counter.width for counter in self.counters()}

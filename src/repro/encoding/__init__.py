@@ -1,0 +1,34 @@
+"""LFSR-reseeding seed computation (classical and window-based).
+
+This package implements the encoding side of the flow:
+
+* :class:`~repro.encoding.equations.EquationSystem` -- turns the LFSR,
+  phase shifter and scan architecture into per-(cube, window-position) linear
+  systems, and expands seeds back into test vectors.
+* :class:`~repro.encoding.window.WindowEncoder` -- the greedy multi-cube
+  window-based seed-computation algorithm of Section 2 of the paper (the
+  method of reference [11], which is also the "Orig." baseline of the
+  evaluation).
+* :func:`~repro.encoding.classical.encode_classical` -- classical LFSR
+  reseeding where every seed expands into a single test vector (L = 1).
+* :class:`~repro.encoding.encoder.ReseedingEncoder` -- the convenience
+  front-end that assembles all the pieces for a given test set.
+"""
+
+from repro.encoding.equations import EquationSystem
+from repro.encoding.results import CubeEmbedding, EncodingResult, SeedRecord
+from repro.encoding.window import EncodingError, WindowEncoder
+from repro.encoding.classical import encode_classical
+from repro.encoding.encoder import ReseedingEncoder, encode_test_set
+
+__all__ = [
+    "EquationSystem",
+    "CubeEmbedding",
+    "EncodingResult",
+    "SeedRecord",
+    "EncodingError",
+    "WindowEncoder",
+    "encode_classical",
+    "ReseedingEncoder",
+    "encode_test_set",
+]

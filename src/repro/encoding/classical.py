@@ -1,0 +1,43 @@
+"""Classical LFSR reseeding (one seed per test vector, L = 1).
+
+This is the baseline of Table 1 ("Classical Reseeding (L=1)"): every seed is
+expanded into exactly one test vector.  As in the paper's experiment, the same
+greedy multi-cube algorithm is used so that each seed still encodes every
+compatible cube that fits into a single vector -- the comparison against
+window-based encoding is therefore about the window, not about smarter cube
+packing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.encoding.results import EncodingResult
+from repro.testdata.test_set import TestSet
+
+
+def encode_classical(
+    test_set: TestSet,
+    num_scan_chains: int = 32,
+    lfsr_size: Optional[int] = None,
+    phase_taps: int = 3,
+    fill_seed: int = 2008,
+    max_phase_retries: int = 4,
+) -> EncodingResult:
+    """Encode a test set with classical (single-vector) LFSR reseeding."""
+    from repro.encoding.encoder import encode_test_set
+
+    return encode_test_set(
+        test_set,
+        window_length=1,
+        num_scan_chains=num_scan_chains,
+        lfsr_size=lfsr_size if lfsr_size is not None else _default_size(test_set),
+        phase_taps=phase_taps,
+        fill_seed=fill_seed,
+        max_phase_retries=max_phase_retries,
+    )
+
+
+def _default_size(test_set: TestSet) -> int:
+    """``s_max`` plus a small margin, the usual reseeding LFSR sizing rule."""
+    return test_set.max_specified() + 8

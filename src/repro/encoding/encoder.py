@@ -1,0 +1,157 @@
+"""Convenience front-end assembling the full reseeding encoder.
+
+:class:`ReseedingEncoder` wires together the LFSR (with the library's default
+primitive feedback polynomial), the phase shifter, the scan architecture and
+the equation system, and exposes a single :meth:`~ReseedingEncoder.encode`
+call.  The lower-level classes remain available for callers that want to
+substitute their own hardware (e.g. a custom transition matrix or a
+hand-crafted phase shifter).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gf2.primitive import default_feedback_polynomial
+from repro.lfsr.lfsr import LFSR
+from repro.lfsr.phase_shifter import PhaseShifter
+from repro.scan.architecture import ScanArchitecture
+from repro.encoding.equations import EquationSystem
+from repro.encoding.results import EncodingResult
+from repro.encoding.window import WindowEncoder
+from repro.testdata.test_set import TestSet
+
+
+class ReseedingEncoder:
+    """Window-based LFSR-reseeding encoder for a fixed decompressor setup.
+
+    Parameters
+    ----------
+    num_cells:
+        Scan-cell count (test cube width) of the core under test.
+    num_scan_chains:
+        Number of scan chains (the paper uses 32).
+    lfsr_size:
+        LFSR size ``n``; must be at least the densest cube's specified-bit
+        count for the encoding to succeed.
+    window_length:
+        Window size ``L`` (1 reproduces classical reseeding).
+    phase_taps:
+        XOR taps per phase-shifter output.
+    phase_seed:
+        RNG seed of the phase-shifter construction (fixed for
+        reproducibility).
+    fill_seed:
+        RNG seed of the pseudo-random fill of free seed variables.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        num_scan_chains: int,
+        lfsr_size: int,
+        window_length: int,
+        phase_taps: int = 3,
+        phase_seed: int = 2008,
+        fill_seed: int = 2008,
+    ):
+        if lfsr_size < 2:
+            raise ValueError("lfsr_size must be at least 2")
+        self._architecture = ScanArchitecture(num_cells, num_scan_chains)
+        self._lfsr = LFSR.fibonacci(default_feedback_polynomial(lfsr_size))
+        self._phase_shifter = PhaseShifter.construct(
+            num_outputs=self._architecture.num_chains,
+            lfsr_size=lfsr_size,
+            taps_per_output=phase_taps,
+            seed=phase_seed,
+        )
+        self._equations = EquationSystem(
+            transition=self._lfsr.transition,
+            phase_shifter=self._phase_shifter,
+            architecture=self._architecture,
+            window_length=window_length,
+        )
+        self._window_encoder = WindowEncoder(self._equations, fill_seed=fill_seed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def architecture(self) -> ScanArchitecture:
+        return self._architecture
+
+    @property
+    def lfsr(self) -> LFSR:
+        return self._lfsr
+
+    @property
+    def phase_shifter(self) -> PhaseShifter:
+        return self._phase_shifter
+
+    @property
+    def equations(self) -> EquationSystem:
+        return self._equations
+
+    @property
+    def window_length(self) -> int:
+        return self._equations.window_length
+
+    @property
+    def lfsr_size(self) -> int:
+        return self._equations.lfsr_size
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, test_set: TestSet) -> EncodingResult:
+        """Run the window-based seed computation on a test set."""
+        smax = test_set.max_specified()
+        if smax > self.lfsr_size:
+            raise ValueError(
+                f"the densest cube specifies {smax} bits but the LFSR has only "
+                f"{self.lfsr_size} cells; increase lfsr_size"
+            )
+        return self._window_encoder.encode(test_set)
+
+
+def encode_test_set(
+    test_set: TestSet,
+    window_length: int,
+    num_scan_chains: int = 32,
+    lfsr_size: Optional[int] = None,
+    phase_taps: int = 3,
+    phase_seed: int = 2008,
+    fill_seed: int = 2008,
+    max_phase_retries: int = 4,
+) -> EncodingResult:
+    """One-call window-based encoding of a test set.
+
+    ``lfsr_size`` defaults to ``s_max + 8`` (margin over the densest cube).
+
+    Structural linear dependencies occasionally make one cube unencodable for
+    a particular phase shifter (the classical reseeding failure mode that the
+    ``s_max`` margin guards against probabilistically).  When that happens
+    the phase shifter is rebuilt with the next RNG seed and the encoding is
+    retried, up to ``max_phase_retries`` times -- exactly what a DFT engineer
+    would do.
+    """
+    from repro.encoding.window import EncodingError
+
+    if lfsr_size is None:
+        lfsr_size = test_set.max_specified() + 8
+    last_error: Optional[EncodingError] = None
+    for attempt in range(max_phase_retries + 1):
+        encoder = ReseedingEncoder(
+            num_cells=test_set.num_cells,
+            num_scan_chains=num_scan_chains,
+            lfsr_size=lfsr_size,
+            window_length=window_length,
+            phase_taps=phase_taps,
+            phase_seed=phase_seed + attempt,
+            fill_seed=fill_seed,
+        )
+        try:
+            return encoder.encode(test_set)
+        except EncodingError as error:
+            last_error = error
+    raise last_error

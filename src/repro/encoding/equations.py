@@ -1,0 +1,253 @@
+"""Linear-equation construction and seed expansion.
+
+The reseeding architecture of Fig. 1 works as follows: an ``n``-bit seed is
+loaded into the LFSR, the LFSR free-runs and the phase shifter feeds the ``m``
+scan chains, so that after ``r`` shift cycles one complete test vector sits in
+the chains.  A window of ``L`` vectors therefore consumes ``L * r`` LFSR
+cycles per seed.
+
+Treating the seed as a vector of unknowns ``a = (a0 .. a(n-1))``, the value
+scanned into cell ``c`` of window-vector ``v`` is the GF(2) inner product
+
+    row(c, v) . a      with      row(c, v) = P[chain(c)] * A^(v*r + load_cycle(c))
+
+where ``P`` is the phase-shifter matrix and ``A`` the LFSR transition matrix.
+Encoding a test cube at window position ``v`` means adding one equation
+``row(c, v) . a = bit`` per specified cell ``c``.
+
+:class:`EquationSystem` precomputes the building blocks of those rows and
+serves two consumers:
+
+* the encoder, which asks for the packed equations of a cube at every window
+  position (computed lazily, in one numpy batch per cube, and cached), and
+* the sequence-reduction / verification code, which asks for the fully
+  expanded test vectors produced by a list of seeds (bulk numpy expansion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import GF2Matrix
+from repro.lfsr.phase_shifter import PhaseShifter
+from repro.scan.architecture import ScanArchitecture
+from repro.testdata.cube import TestCube
+
+
+def _matrix_to_numpy(matrix: GF2Matrix) -> np.ndarray:
+    """Dense uint8 array of a GF2Matrix (shape nrows x ncols)."""
+    out = np.zeros((matrix.nrows, matrix.ncols), dtype=np.uint8)
+    for i in range(matrix.nrows):
+        row = matrix.row_mask(i)
+        while row:
+            low = row & -row
+            out[i, low.bit_length() - 1] = 1
+            row ^= low
+    return out
+
+
+def _pack_rows_to_ints(rows: np.ndarray) -> List[int]:
+    """Pack an array of 0/1 rows (shape count x n) into Python ints.
+
+    Bit ``j`` of the returned integer is column ``j`` of the row, matching the
+    packing convention of :class:`repro.gf2.bitvec.BitVector`.
+    """
+    packed = np.packbits(rows.astype(np.uint8), axis=-1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+class EquationSystem:
+    """Per-cube encoding equations and seed expansion for one core.
+
+    Parameters
+    ----------
+    transition:
+        LFSR transition matrix ``A`` (``n x n``).
+    phase_shifter:
+        Phase shifter driving the scan chains.
+    architecture:
+        Scan architecture of the core under test.
+    window_length:
+        Number of window vectors ``L`` each seed is expanded into.
+    """
+
+    def __init__(
+        self,
+        transition: GF2Matrix,
+        phase_shifter: PhaseShifter,
+        architecture: ScanArchitecture,
+        window_length: int,
+    ):
+        if window_length < 1:
+            raise ValueError("window_length must be at least 1")
+        if transition.nrows != transition.ncols:
+            raise ValueError("transition matrix must be square")
+        if phase_shifter.lfsr_size != transition.ncols:
+            raise ValueError("phase shifter width does not match the LFSR size")
+        if phase_shifter.num_outputs < architecture.num_chains:
+            raise ValueError(
+                "phase shifter must drive at least as many outputs as scan chains"
+            )
+        self._transition = transition
+        self._phase_shifter = phase_shifter
+        self._architecture = architecture
+        self._window_length = window_length
+        self._lfsr_size = transition.ncols
+
+        self._cell_rows = self._build_cell_rows()
+        self._position_matrices = self._build_position_matrices()
+        self._cube_cache: Dict[Tuple[int, int, int], List[List[Tuple[int, int]]]] = {}
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _build_cell_rows(self) -> np.ndarray:
+        """Rows ``P[chain(c)] * A^(load_cycle(c))`` for every scan cell."""
+        arch = self._architecture
+        n = self._lfsr_size
+        phase_np = _matrix_to_numpy(self._phase_shifter.matrix)
+        transition_np = _matrix_to_numpy(self._transition)
+
+        # chain_rows[t] = P * A^t for every shift cycle t of one vector load.
+        chain_rows = np.empty((arch.chain_length, phase_np.shape[0], n), dtype=np.uint8)
+        current = phase_np.copy()
+        for t in range(arch.chain_length):
+            chain_rows[t] = current
+            current = (current @ transition_np) % 2
+
+        cell_rows = np.empty((arch.num_cells, n), dtype=np.uint8)
+        for cell in range(arch.num_cells):
+            chain = cell % arch.num_chains
+            cycle = arch.load_cycle(cell)
+            cell_rows[cell] = chain_rows[cycle, chain]
+        return cell_rows
+
+    def _build_position_matrices(self) -> np.ndarray:
+        """``A^(v*r)`` for every window position ``v`` (shape L x n x n)."""
+        n = self._lfsr_size
+        per_vector = self._transition.power(self._architecture.chain_length)
+        per_vector_np = _matrix_to_numpy(per_vector)
+        matrices = np.empty((self._window_length, n, n), dtype=np.uint8)
+        matrices[0] = np.eye(n, dtype=np.uint8)
+        for v in range(1, self._window_length):
+            matrices[v] = (matrices[v - 1] @ per_vector_np) % 2
+        return matrices
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def lfsr_size(self) -> int:
+        return self._lfsr_size
+
+    @property
+    def window_length(self) -> int:
+        return self._window_length
+
+    @property
+    def architecture(self) -> ScanArchitecture:
+        return self._architecture
+
+    @property
+    def phase_shifter(self) -> PhaseShifter:
+        return self._phase_shifter
+
+    @property
+    def transition(self) -> GF2Matrix:
+        return self._transition
+
+    # ------------------------------------------------------------------
+    # Equations
+    # ------------------------------------------------------------------
+    def cube_equations(self, cube: TestCube) -> List[List[Tuple[int, int]]]:
+        """Packed equations of a cube for every window position.
+
+        Entry ``v`` of the result is the list of ``(coefficient_mask, rhs)``
+        pairs for encoding the cube at window position ``v``.  Results are
+        cached per cube (the equations depend only on the hardware, not on
+        any seed), so repeated queries across seeds are free.
+        """
+        if cube.num_cells != self._architecture.num_cells:
+            raise ValueError(
+                f"cube width {cube.num_cells} does not match the scan "
+                f"architecture ({self._architecture.num_cells} cells)"
+            )
+        key = (cube.num_cells, cube.care_mask, cube.care_value)
+        cached = self._cube_cache.get(key)
+        if cached is not None:
+            return cached
+
+        cells = cube.specified_cells()
+        rhs = [(cube.care_value >> c) & 1 for c in cells]
+        spec_rows = self._cell_rows[cells]  # (s, n)
+        # rows_all[v, i] = spec_rows[i] @ A^(v*r)  for every position v.
+        rows_all = np.matmul(
+            spec_rows[np.newaxis, :, :], self._position_matrices
+        ) % 2  # (L, s, n)
+        equations: List[List[Tuple[int, int]]] = []
+        for v in range(self._window_length):
+            masks = _pack_rows_to_ints(rows_all[v])
+            equations.append(list(zip(masks, rhs)))
+        self._cube_cache[key] = equations
+        return equations
+
+    def cube_equations_at(self, cube: TestCube, position: int) -> List[Tuple[int, int]]:
+        """Equations of a cube at one window position."""
+        if not 0 <= position < self._window_length:
+            raise IndexError(f"window position {position} out of range")
+        return self.cube_equations(cube)[position]
+
+    # ------------------------------------------------------------------
+    # Seed expansion
+    # ------------------------------------------------------------------
+    def expand_seed(self, seed: BitVector) -> List[int]:
+        """All ``L`` test vectors of one seed, as packed integers."""
+        return self.expand_seeds([seed])[0]
+
+    def expand_seeds(self, seeds: Sequence[BitVector]) -> List[List[int]]:
+        """Expand several seeds into their ``L``-vector windows (bulk numpy).
+
+        Entry ``[s][v]`` of the result is the fully specified test vector
+        (packed integer over the scan cells) produced by seed ``s`` at window
+        position ``v``.
+        """
+        if not seeds:
+            return []
+        n = self._lfsr_size
+        for seed in seeds:
+            if seed.length != n:
+                raise ValueError("seed length does not match the LFSR size")
+        seed_cols = np.zeros((n, len(seeds)), dtype=np.uint8)
+        for j, seed in enumerate(seeds):
+            value = seed.value
+            while value:
+                low = value & -value
+                seed_cols[low.bit_length() - 1, j] = 1
+                value ^= low
+
+        num_seeds = len(seeds)
+        out: List[List[int]] = [[] for _ in range(num_seeds)]
+        for v in range(self._window_length):
+            # LFSR state at the start of vector v, for every seed.
+            states = (self._position_matrices[v] @ seed_cols) % 2  # (n, seeds)
+            cell_bits = (self._cell_rows @ states) % 2  # (cells, seeds)
+            packed = np.packbits(cell_bits, axis=0, bitorder="little")
+            for j in range(num_seeds):
+                out[j].append(int.from_bytes(packed[:, j].tobytes(), "little"))
+        return out
+
+    def vector_at(self, seed: BitVector, position: int) -> List[int]:
+        """The test vector of ``seed`` at one window position, as a bit list."""
+        packed = self.expand_seed(seed)[position]
+        return [(packed >> c) & 1 for c in range(self._architecture.num_cells)]
+
+    def cube_matches(self, cube: TestCube, seed: BitVector, position: int) -> bool:
+        """True when the expanded vector at ``position`` covers ``cube``."""
+        return cube.matches_vector(self.expand_seed(seed)[position])
+
+    def clear_cache(self) -> None:
+        """Drop the per-cube equation cache (memory housekeeping)."""
+        self._cube_cache.clear()

@@ -1,0 +1,301 @@
+"""Window-based multi-cube seed computation (Section 2 of the paper).
+
+Every seed is expanded on-chip into a window of ``L`` pseudo-random vectors,
+and as many test cubes as possible are *deterministically* encoded into the
+window by solving their linear systems jointly.  The greedy algorithm is the
+one the paper adopts from reference [11]:
+
+1. The first seed equation batch is the test cube with the most specified
+   bits, solved at the *first* vector of the window (this guarantees that the
+   first segment of every seed is useful, which the decompressor exploits).
+2. Repeatedly, among the still-unencoded cubes with the maximum number of
+   specified bits that have at least one solvable system in the window:
+
+   a. keep the solvable (cube, position) systems whose solution replaces the
+      fewest free seed variables (fewest new pivots),
+   b. among those, keep the systems of the cube that can be encoded the
+      fewest times in the window,
+   c. finally take the system nearest to the start of the window.
+
+   The selected system's equations are committed and the cube is marked as
+   encoded in this seed.
+3. When no remaining cube can be solved anywhere in the window, the seed is
+   closed: free variables are filled with pseudo-random values and the next
+   seed is started.
+
+The expensive step is the solvability scan.  Two observations keep it
+tractable in pure Python: committed constraints only ever grow within a seed,
+so a position found unsolvable for a cube stays unsolvable for that seed and
+is never re-checked; and the per-(cube, position) equations depend only on
+the hardware, so they are computed once (in a numpy batch per cube) and
+cached by the :class:`~repro.encoding.equations.EquationSystem`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gf2.solve import IncrementalSolver, TrialResult
+from repro.encoding.equations import EquationSystem
+from repro.encoding.results import CubeEmbedding, EncodingResult, SeedRecord
+from repro.testdata.test_set import TestSet
+
+
+class EncodingError(RuntimeError):
+    """Raised when a test cube cannot be encoded at all.
+
+    This happens when a cube's system is inconsistent at every window
+    position even with a fresh (unconstrained) seed -- in practice it means
+    the LFSR is too small for the cube's specified-bit count, or the phase
+    shifter introduces an unlucky linear dependency.  The fix is a larger
+    LFSR or a different phase-shifter seed.
+    """
+
+
+@dataclass
+class _Candidate:
+    """A solvable (cube, position) system considered by one selection step."""
+
+    cube_index: int
+    position: int
+    trial: TrialResult
+    solvable_count: int
+
+
+class WindowEncoder:
+    """Greedy window-based seed computation.
+
+    Parameters
+    ----------
+    equations:
+        The equation system describing the decompressor hardware.
+    fill_seed:
+        Seed of the pseudo-random filler used for the free seed variables
+        (the paper fills don't-cares with pseudo-random data; a fixed seed
+        keeps every run reproducible).
+    """
+
+    def __init__(self, equations: EquationSystem, fill_seed: int = 2008):
+        self._equations = equations
+        self._fill_seed = fill_seed
+
+    @property
+    def equations(self) -> EquationSystem:
+        return self._equations
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def encode(self, test_set: TestSet) -> EncodingResult:
+        """Compute seeds until every cube of ``test_set`` is encoded."""
+        arch = self._equations.architecture
+        if test_set.num_cells != arch.num_cells:
+            raise ValueError(
+                f"test set width {test_set.num_cells} does not match the scan "
+                f"architecture ({arch.num_cells} cells)"
+            )
+        cubes = test_set.cubes
+        cube_equations = [self._equations.cube_equations(cube) for cube in cubes]
+        spec_counts = [cube.specified_count() for cube in cubes]
+        self._precheck_encodability(cube_equations)
+
+        remaining = set(range(len(cubes)))
+        seeds: List[SeedRecord] = []
+        while remaining:
+            record = self._build_seed(
+                seed_index=len(seeds),
+                remaining=remaining,
+                cube_equations=cube_equations,
+                spec_counts=spec_counts,
+            )
+            if not record.embeddings:
+                unencodable = sorted(remaining)
+                raise EncodingError(
+                    f"cubes {unencodable[:10]} cannot be encoded anywhere in the "
+                    f"window even with an unconstrained seed; increase the LFSR "
+                    f"size (currently {self._equations.lfsr_size}) or change the "
+                    f"phase shifter"
+                )
+            for embedding in record.embeddings:
+                remaining.discard(embedding.cube_index)
+            seeds.append(record)
+
+        return EncodingResult(
+            circuit=test_set.name,
+            lfsr_size=self._equations.lfsr_size,
+            window_length=self._equations.window_length,
+            num_scan_chains=arch.num_chains,
+            chain_length=arch.chain_length,
+            seeds=seeds,
+            num_cubes=len(cubes),
+        )
+
+    def _precheck_encodability(
+        self, cube_equations: List[List[List[Tuple[int, int]]]]
+    ) -> None:
+        """Fail fast on cubes that no seed can ever encode.
+
+        Linear dependencies among a cube's equation rows are *structural*:
+        multiplying every row by ``A^(v*r)`` preserves them, so a cube whose
+        system is inconsistent with an unconstrained seed at window position 0
+        is inconsistent at every position and in every seed.  Detecting this
+        up front costs one cheap solvability check per cube and lets callers
+        retry with a different phase shifter (or a larger LFSR) immediately
+        instead of after a long encoding run.
+        """
+        unencodable = []
+        for cube_index, equations in enumerate(cube_equations):
+            solver = IncrementalSolver(self._equations.lfsr_size)
+            if not solver.try_masks(equations[0]).consistent:
+                unencodable.append(cube_index)
+        if unencodable:
+            raise EncodingError(
+                f"cubes {unencodable[:10]} have structurally conflicting "
+                f"equations (linearly dependent rows with inconsistent values); "
+                f"increase the LFSR size (currently {self._equations.lfsr_size}) "
+                f"or rebuild the phase shifter with a different seed"
+            )
+
+    # ------------------------------------------------------------------
+    # Seed construction
+    # ------------------------------------------------------------------
+    def _build_seed(
+        self,
+        seed_index: int,
+        remaining: set,
+        cube_equations: List[List[List[Tuple[int, int]]]],
+        spec_counts: List[int],
+    ) -> SeedRecord:
+        solver = IncrementalSolver(self._equations.lfsr_size)
+        window = self._equations.window_length
+        embeddings: List[CubeEmbedding] = []
+        encoded_here: set = set()
+        # Positions still possibly solvable for each cube, for *this* seed.
+        open_positions: Dict[int, List[int]] = {}
+
+        first = self._select_first_cube(solver, remaining, cube_equations, spec_counts)
+        if first is not None:
+            cube_index, trial = first
+            solver.commit(trial)
+            embeddings.append(CubeEmbedding(cube_index, 0))
+            encoded_here.add(cube_index)
+
+        while True:
+            candidate = self._select_candidate(
+                solver,
+                remaining,
+                encoded_here,
+                cube_equations,
+                spec_counts,
+                open_positions,
+                window,
+            )
+            if candidate is None:
+                break
+            solver.commit(candidate.trial)
+            embeddings.append(CubeEmbedding(candidate.cube_index, candidate.position))
+            encoded_here.add(candidate.cube_index)
+            open_positions.pop(candidate.cube_index, None)
+
+        seed_value = solver.solution(free_fill=self._free_fill(seed_index))
+        return SeedRecord(index=seed_index, seed=seed_value, embeddings=embeddings)
+
+    def _select_first_cube(
+        self,
+        solver: IncrementalSolver,
+        remaining: set,
+        cube_equations: List[List[List[Tuple[int, int]]]],
+        spec_counts: List[int],
+    ) -> Optional[Tuple[int, TrialResult]]:
+        """The densest remaining cube solvable at window position 0."""
+        order = sorted(remaining, key=lambda i: (-spec_counts[i], i))
+        for cube_index in order:
+            trial = solver.try_masks(cube_equations[cube_index][0])
+            if trial.consistent:
+                return cube_index, trial
+        return None
+
+    def _select_candidate(
+        self,
+        solver: IncrementalSolver,
+        remaining: set,
+        encoded_here: set,
+        cube_equations: List[List[List[Tuple[int, int]]]],
+        spec_counts: List[int],
+        open_positions: Dict[int, List[int]],
+        window: int,
+    ) -> Optional[_Candidate]:
+        """One selection step of the greedy algorithm (criteria a-c)."""
+        pending = [i for i in remaining if i not in encoded_here]
+        if not pending:
+            return None
+        # Group by specified-bit count, densest group first.
+        by_count: Dict[int, List[int]] = {}
+        for cube_index in pending:
+            by_count.setdefault(spec_counts[cube_index], []).append(cube_index)
+
+        for count in sorted(by_count, reverse=True):
+            candidates: List[_Candidate] = []
+            for cube_index in by_count[count]:
+                positions = open_positions.setdefault(cube_index, list(range(window)))
+                solvable: List[Tuple[int, TrialResult]] = []
+                still_open: List[int] = []
+                equations = cube_equations[cube_index]
+                for position in positions:
+                    trial = solver.try_masks(equations[position])
+                    if trial.consistent:
+                        solvable.append((position, trial))
+                        still_open.append(position)
+                open_positions[cube_index] = still_open
+                for position, trial in solvable:
+                    candidates.append(
+                        _Candidate(
+                            cube_index=cube_index,
+                            position=position,
+                            trial=trial,
+                            solvable_count=len(solvable),
+                        )
+                    )
+            if candidates:
+                return self._pick(candidates)
+        return None
+
+    @staticmethod
+    def _pick(candidates: List[_Candidate]) -> _Candidate:
+        """Tie-breaks b and c: fewest replaced variables, rarest cube, earliest."""
+        min_pivots = min(c.trial.new_pivots for c in candidates)
+        level1 = [c for c in candidates if c.trial.new_pivots == min_pivots]
+        min_solvable = min(c.solvable_count for c in level1)
+        level2 = [c for c in level1 if c.solvable_count == min_solvable]
+        return min(level2, key=lambda c: (c.position, c.cube_index))
+
+    def _free_fill(self, seed_index: int) -> List[int]:
+        """Pseudo-random fill bits for the free variables of one seed."""
+        rng = random.Random(self._fill_seed * 1_000_003 + seed_index)
+        return [rng.getrandbits(1) for _ in range(self._equations.lfsr_size)]
+
+
+def verify_encoding(
+    result: EncodingResult, test_set: TestSet, equations: EquationSystem
+) -> List[Tuple[int, int, int]]:
+    """Check every deterministic embedding against the expanded windows.
+
+    Returns a list of violations ``(seed_index, cube_index, position)``; an
+    empty list means every encoded cube is really produced by its seed at its
+    assigned window position.  This is the ground-truth correctness check the
+    tests and the decompressor simulation rely on.
+    """
+    violations = []
+    windows = equations.expand_seeds([record.seed for record in result.seeds])
+    for record, window in zip(result.seeds, windows):
+        for embedding in record.embeddings:
+            if not embedding.deterministic:
+                continue
+            cube = test_set[embedding.cube_index]
+            if not cube.matches_vector(window[embedding.position]):
+                violations.append(
+                    (record.index, embedding.cube_index, embedding.position)
+                )
+    return violations

@@ -1,0 +1,206 @@
+"""Packed bit vectors over GF(2).
+
+A :class:`BitVector` stores ``length`` bits packed into a single Python
+integer.  Bit ``i`` of the vector is bit ``i`` of the integer, i.e. the least
+significant bit is element 0.  Python integers give us arbitrary width,
+constant-time XOR/AND, and a fast population count via ``int.bit_count`` --
+which is exactly the profile the seed-computation inner loops need.
+
+The class is immutable: every operation returns a new vector.  For the hot
+loops of the encoder the raw integer masks are used directly (see
+:mod:`repro.gf2.solve`), but the public API always exposes ``BitVector``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+
+class BitVector:
+    """An immutable vector of bits over GF(2).
+
+    Parameters
+    ----------
+    length:
+        Number of bits in the vector.
+    value:
+        Packed integer value.  Bits above ``length`` are masked off.
+    """
+
+    __slots__ = ("_length", "_value")
+
+    def __init__(self, length: int, value: int = 0):
+        if length < 0:
+            raise ValueError("BitVector length must be non-negative")
+        self._length = length
+        self._value = value & ((1 << length) - 1) if length else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "BitVector":
+        """Build a vector from an iterable of 0/1 values (index 0 first)."""
+        value = 0
+        length = 0
+        for i, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+            if bit:
+                value |= 1 << i
+            length += 1
+        return cls(length, value)
+
+    @classmethod
+    def from_indices(cls, length: int, indices: Iterable[int]) -> "BitVector":
+        """Build a vector with ones exactly at the given indices."""
+        value = 0
+        for idx in indices:
+            if not 0 <= idx < length:
+                raise IndexError(f"index {idx} out of range for length {length}")
+            value |= 1 << idx
+        return cls(length, value)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        """The all-ones vector of the given length."""
+        return cls(length, (1 << length) - 1)
+
+    @classmethod
+    def unit(cls, length: int, index: int) -> "BitVector":
+        """The standard basis vector ``e_index``."""
+        if not 0 <= index < length:
+            raise IndexError(f"index {index} out of range for length {length}")
+        return cls(length, 1 << index)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of bits in the vector."""
+        return self._length
+
+    @property
+    def value(self) -> int:
+        """Packed integer value (bit i of the int is element i)."""
+        return self._value
+
+    def weight(self) -> int:
+        """Hamming weight (number of ones)."""
+        return self._value.bit_count()
+
+    def is_zero(self) -> bool:
+        """True when every element is 0."""
+        return self._value == 0
+
+    def support(self) -> List[int]:
+        """Indices of the one-bits, ascending."""
+        out = []
+        v = self._value
+        while v:
+            low = v & -v
+            out.append(low.bit_length() - 1)
+            v ^= low
+        return out
+
+    def to_bits(self) -> List[int]:
+        """The vector as a plain list of 0/1 ints."""
+        return [(self._value >> i) & 1 for i in range(self._length)]
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range for length {self._length}")
+        return (self._value >> index) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield (self._value >> i) & 1
+
+    def __len__(self) -> int:
+        return self._length
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _check_length(self, other: "BitVector") -> None:
+        if self._length != other._length:
+            raise ValueError(
+                f"length mismatch: {self._length} vs {other._length}"
+            )
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_length(other)
+        return BitVector(self._length, self._value ^ other._value)
+
+    __add__ = __xor__  # addition over GF(2) is XOR
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_length(other)
+        return BitVector(self._length, self._value & other._value)
+
+    def dot(self, other: "BitVector") -> int:
+        """Inner product over GF(2) (parity of the AND)."""
+        self._check_length(other)
+        return (self._value & other._value).bit_count() & 1
+
+    def set(self, index: int, bit: int) -> "BitVector":
+        """Return a copy with element ``index`` set to ``bit``."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range for length {self._length}")
+        if bit:
+            return BitVector(self._length, self._value | (1 << index))
+        return BitVector(self._length, self._value & ~(1 << index))
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """Concatenate ``self`` (low indices) with ``other`` (high indices)."""
+        return BitVector(
+            self._length + other._length,
+            self._value | (other._value << self._length),
+        )
+
+    def slice(self, start: int, stop: int) -> "BitVector":
+        """Elements ``start..stop-1`` as a new vector."""
+        if not 0 <= start <= stop <= self._length:
+            raise IndexError(f"invalid slice [{start}:{stop}] for length {self._length}")
+        width = stop - start
+        mask = (1 << width) - 1
+        return BitVector(width, (self._value >> start) & mask)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._length == other._length and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._value))
+
+    def __repr__(self) -> str:
+        return f"BitVector('{self.to_string()}')"
+
+    def to_string(self) -> str:
+        """Bits as a string, element 0 first (e.g. ``'1011'``)."""
+        return "".join(str((self._value >> i) & 1) for i in range(self._length))
+
+    @classmethod
+    def from_string(cls, text: str) -> "BitVector":
+        """Parse a string of ``0``/``1`` characters (element 0 first)."""
+        bits = []
+        for ch in text:
+            if ch not in "01":
+                raise ValueError(f"invalid character {ch!r} in bit string")
+            bits.append(int(ch))
+        return cls.from_bits(bits)
+
+
+def parity(value: int) -> int:
+    """Parity (XOR of all bits) of a non-negative integer."""
+    return value.bit_count() & 1

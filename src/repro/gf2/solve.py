@@ -1,0 +1,275 @@
+"""Solving linear systems over GF(2), incrementally.
+
+LFSR reseeding computes a seed by solving a linear system whose unknowns are
+the ``n`` initial LFSR cells and whose equations come from the specified bits
+of the test cubes encoded into the seed (see Koenemann, ETC 1991).  The
+window-based algorithm of the paper adds test cubes to a seed *one at a time*,
+and for every candidate (cube, window-position) pair it must know
+
+* whether the candidate's equations are *consistent* with everything already
+  encoded in the seed, and
+* how many previously free seed variables the candidate would pin down
+  (the "replaced variables" tie-break criterion of Section 2).
+
+The :class:`IncrementalSolver` supports exactly this usage: it keeps the
+accepted equations in reduced row-echelon form (augmented with the right-hand
+side), offers a *trial* mode that evaluates a batch of equations without
+committing them, and can commit a previously evaluated batch in O(batch)
+row operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gf2.bitvec import BitVector
+
+
+@dataclass(frozen=True)
+class Equation:
+    """A single linear equation ``coeffs . x = rhs`` over GF(2).
+
+    ``coeffs`` is the packed integer of coefficient bits (bit ``i`` multiplies
+    variable ``x_i``) and ``rhs`` is 0 or 1.
+    """
+
+    coeffs: int
+    rhs: int
+
+    def __post_init__(self):
+        if self.rhs not in (0, 1):
+            raise ValueError("rhs must be 0 or 1")
+
+    @classmethod
+    def from_bitvector(cls, coeffs: BitVector, rhs: int) -> "Equation":
+        return cls(coeffs.value, rhs)
+
+
+class SolveOutcome(Enum):
+    """Result of evaluating a batch of equations against the current basis."""
+
+    CONSISTENT = "consistent"
+    INCONSISTENT = "inconsistent"
+
+
+@dataclass
+class TrialResult:
+    """Outcome of :meth:`IncrementalSolver.try_equations`.
+
+    Attributes
+    ----------
+    outcome:
+        Whether the batch is consistent with the already committed equations.
+    new_pivots:
+        Number of previously free variables the batch would pin down (i.e. the
+        rank increase).  This is the "replaced variables" count used by the
+        seed-computation tie-breaks.
+    reduced_rows:
+        The non-zero reduced augmented rows, ready to be committed.
+    """
+
+    outcome: SolveOutcome
+    new_pivots: int
+    reduced_rows: List[int] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return self.outcome is SolveOutcome.CONSISTENT
+
+
+class IncrementalSolver:
+    """Reduced row-echelon basis of GF(2) equations with trial evaluation.
+
+    The augmented representation packs the right-hand side as bit ``n`` of each
+    row (``n`` = number of variables), so a row reduces to "0 = 1" exactly when
+    its value equals ``1 << n``.
+    """
+
+    def __init__(self, num_variables: int):
+        if num_variables <= 0:
+            raise ValueError("num_variables must be positive")
+        self._n = num_variables
+        self._rhs_bit = 1 << num_variables
+        # pivot column -> augmented row with that pivot
+        self._pivots: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return self._n
+
+    @property
+    def rank(self) -> int:
+        """Number of pinned (pivot) variables."""
+        return len(self._pivots)
+
+    @property
+    def free_variables(self) -> int:
+        """Number of variables not yet pinned by any committed equation."""
+        return self._n - len(self._pivots)
+
+    def pivot_columns(self) -> List[int]:
+        """Sorted list of pivot variable indices."""
+        return sorted(self._pivots)
+
+    def copy(self) -> "IncrementalSolver":
+        """An independent copy of the solver state."""
+        clone = IncrementalSolver(self._n)
+        clone._pivots = dict(self._pivots)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Core reduction
+    # ------------------------------------------------------------------
+    def _reduce(self, aug: int, extra: Optional[Dict[int, int]] = None) -> int:
+        """Reduce an augmented row against the committed (and extra) pivots."""
+        pivots = self._pivots
+        coeffs = aug & ~self._rhs_bit
+        while coeffs:
+            high = coeffs.bit_length() - 1
+            row = pivots.get(high)
+            if row is None and extra is not None:
+                row = extra.get(high)
+            if row is None:
+                break
+            aug ^= row
+            coeffs = aug & ~self._rhs_bit
+        return aug
+
+    def _fully_reduced_rows(self) -> Dict[int, int]:
+        """Pivot rows with every *other* pivot column eliminated.
+
+        Stored rows are only leading-bit reduced, so a row may still reference
+        lower pivot columns.  Processing pivots in ascending order lets each
+        row be cleaned with already-cleaned lower rows, after which every row
+        contains its own pivot column, free columns and the RHS bit only.
+        """
+        reduced: Dict[int, int] = {}
+        for pivot in sorted(self._pivots):
+            row = self._pivots[pivot]
+            rest = row & ~self._rhs_bit & ~(1 << pivot)
+            for lower in sorted(reduced, reverse=True):
+                if (rest >> lower) & 1:
+                    row ^= reduced[lower]
+                    rest = row & ~self._rhs_bit & ~(1 << pivot)
+            reduced[pivot] = row
+        return reduced
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def try_equations(self, equations: Iterable[Equation]) -> TrialResult:
+        """Evaluate a batch of equations without committing them."""
+        extra: Dict[int, int] = {}
+        for eq in equations:
+            aug = (eq.coeffs & (self._rhs_bit - 1)) | (self._rhs_bit if eq.rhs else 0)
+            aug = self._reduce(aug, extra)
+            if aug == self._rhs_bit:
+                return TrialResult(SolveOutcome.INCONSISTENT, 0, [])
+            if aug == 0:
+                continue
+            pivot = (aug & ~self._rhs_bit).bit_length() - 1
+            extra[pivot] = aug
+        return TrialResult(
+            SolveOutcome.CONSISTENT, len(extra), list(extra.values())
+        )
+
+    def try_masks(self, masks_and_rhs: Iterable[Tuple[int, int]]) -> TrialResult:
+        """Fast-path version of :meth:`try_equations` taking packed pairs."""
+        extra: Dict[int, int] = {}
+        rhs_bit = self._rhs_bit
+        for coeffs, rhs in masks_and_rhs:
+            aug = (coeffs & (rhs_bit - 1)) | (rhs_bit if rhs else 0)
+            aug = self._reduce(aug, extra)
+            if aug == rhs_bit:
+                return TrialResult(SolveOutcome.INCONSISTENT, 0, [])
+            if aug == 0:
+                continue
+            pivot = (aug & ~rhs_bit).bit_length() - 1
+            extra[pivot] = aug
+        return TrialResult(
+            SolveOutcome.CONSISTENT, len(extra), list(extra.values())
+        )
+
+    def commit(self, trial: TrialResult) -> None:
+        """Commit a previously evaluated consistent batch.
+
+        The trial must have been produced by :meth:`try_equations` /
+        :meth:`try_masks` on the *current* solver state (no other commits in
+        between); the reduced rows are inserted directly.
+        """
+        if not trial.consistent:
+            raise ValueError("cannot commit an inconsistent trial")
+        for aug in trial.reduced_rows:
+            row = self._reduce(aug)
+            if row == self._rhs_bit:
+                raise ValueError("trial is stale: row became inconsistent")
+            if row == 0:
+                continue
+            pivot = (row & ~self._rhs_bit).bit_length() - 1
+            self._pivots[pivot] = row
+
+    def add_equations(self, equations: Iterable[Equation]) -> TrialResult:
+        """Evaluate and, if consistent, immediately commit a batch."""
+        trial = self.try_equations(equations)
+        if trial.consistent:
+            self.commit(trial)
+        return trial
+
+    def solution(self, free_fill: Optional[Sequence[int]] = None) -> BitVector:
+        """An explicit solution of the committed system.
+
+        Free variables are filled with ``free_fill`` values (cycled) or zeros.
+        The returned vector is the LFSR *seed* in the reseeding application.
+        """
+        fill = list(free_fill) if free_fill else [0]
+        if any(b not in (0, 1) for b in fill):
+            raise ValueError("free_fill entries must be 0 or 1")
+        value = 0
+        # Assign free variables first.
+        pivot_cols = set(self._pivots)
+        fill_idx = 0
+        for var in range(self._n):
+            if var not in pivot_cols:
+                if fill[fill_idx % len(fill)]:
+                    value |= 1 << var
+                fill_idx += 1
+        # Assign pivot variables.  Each fully reduced row references only its
+        # own pivot and free columns, so the already-assigned free values
+        # determine the pivot bit directly.
+        for pivot, row in self._fully_reduced_rows().items():
+            rhs = 1 if row & self._rhs_bit else 0
+            rest = row & ~self._rhs_bit & ~(1 << pivot)
+            acc = rhs ^ ((rest & value).bit_count() & 1)
+            if acc:
+                value |= 1 << pivot
+            else:
+                value &= ~(1 << pivot)
+        return BitVector(self._n, value)
+
+    def is_determined(self, var: int) -> bool:
+        """True when variable ``var`` is a pivot (pinned by the system)."""
+        return var in self._pivots
+
+    def check_solution(self, candidate: BitVector, equations: Iterable[Equation]) -> bool:
+        """Verify that ``candidate`` satisfies every given equation."""
+        value = candidate.value
+        for eq in equations:
+            if ((eq.coeffs & value).bit_count() & 1) != eq.rhs:
+                return False
+        return True
+
+
+def gaussian_solve(
+    equations: Sequence[Equation], num_variables: int
+) -> Optional[BitVector]:
+    """One-shot solve of a batch of equations; ``None`` if inconsistent."""
+    solver = IncrementalSolver(num_variables)
+    trial = solver.add_equations(equations)
+    if not trial.consistent:
+        return None
+    return solver.solution()

@@ -1,0 +1,263 @@
+"""State Skip LFSRs (Section 3.1 of the paper).
+
+A State Skip LFSR is a normal LFSR plus a *State Skip circuit*: a purely
+combinational network computing the linear expressions ``F_0^k .. F_{n-1}^k``
+of equation (1), i.e. the rows of ``A^k`` where ``A`` is the LFSR transition
+matrix.  A 2:1 multiplexer in front of every cell selects which network drives
+the cell's next value:
+
+* **Normal mode** -- the characteristic-polynomial feedback (``A``), one state
+  per clock.
+* **State Skip mode** -- the State Skip circuit (``A^k``), ``k`` states per
+  clock, skipping the ``k-1`` intermediate states.
+
+The hardware overhead of the circuit is one XOR tree per cell whose fan-in is
+the weight of the corresponding ``A^k`` row, plus the ``n`` multiplexers.  The
+gate-equivalent accounting mirrors the numbers reported in Section 4 of the
+paper (e.g. 52 GE for s13207's 24-bit LFSR at k = 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import GF2Matrix
+from repro.lfsr.lfsr import LFSR, LFSRMode
+from repro.lfsr.transition import state_skip_expressions
+
+#: Default standard-cell costs in gate equivalents (1 GE = one 2-input NAND).
+XOR2_GE = 2.0
+MUX2_GE = 2.5
+DFF_GE = 5.0
+
+
+@dataclass(frozen=True)
+class StateSkipCost:
+    """Gate-level cost breakdown of a State Skip circuit."""
+
+    xor_gates: int
+    mux_gates: int
+    gate_equivalents: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.xor_gates} XOR2 + {self.mux_gates} MUX2 "
+            f"= {self.gate_equivalents:.1f} GE"
+        )
+
+
+class StateSkipCircuit:
+    """The combinational network implementing ``A^k``.
+
+    The circuit is characterised entirely by the skip matrix; this class adds
+    the hardware book-keeping (XOR-tree sizes, gate equivalents) and the
+    single-cycle evaluation used by :class:`StateSkipLFSR`.
+    """
+
+    def __init__(self, transition: GF2Matrix, k: int):
+        if k < 2:
+            raise ValueError(
+                "a State Skip circuit needs k >= 2 (k = 1 is the normal feedback)"
+            )
+        self._k = k
+        self._matrix = state_skip_expressions(transition, k)
+
+    @property
+    def k(self) -> int:
+        """Speedup factor (number of states advanced per clock)."""
+        return self._k
+
+    @property
+    def matrix(self) -> GF2Matrix:
+        """The skip matrix ``A^k``."""
+        return self._matrix
+
+    @property
+    def size(self) -> int:
+        return self._matrix.ncols
+
+    def evaluate(self, state: BitVector) -> BitVector:
+        """The state ``k`` cycles after ``state``."""
+        return self._matrix.mul_vector(state)
+
+    def xor_gate_count(self) -> int:
+        """Number of 2-input XOR gates in the per-cell XOR trees.
+
+        A row of weight ``w`` needs ``w - 1`` two-input XORs (``w = 0`` or 1
+        needs none: the cell is driven by constant 0 or a direct wire).
+        """
+        total = 0
+        for i in range(self._matrix.nrows):
+            weight = self._matrix.row(i).weight()
+            if weight >= 2:
+                total += weight - 1
+        return total
+
+    def cost(
+        self, xor_ge: float = XOR2_GE, mux_ge: float = MUX2_GE
+    ) -> StateSkipCost:
+        """Gate-equivalent cost of the State Skip circuit plus its muxes."""
+        xor_gates = self.xor_gate_count()
+        mux_gates = self.size
+        return StateSkipCost(
+            xor_gates=xor_gates,
+            mux_gates=mux_gates,
+            gate_equivalents=xor_gates * xor_ge + mux_gates * mux_ge,
+        )
+
+    def __repr__(self) -> str:
+        return f"StateSkipCircuit(size={self.size}, k={self._k})"
+
+
+class StateSkipLFSR:
+    """An LFSR with selectable Normal / State Skip operation.
+
+    Parameters
+    ----------
+    lfsr:
+        The underlying LFSR (its transition matrix defines Normal mode).
+    k:
+        Speedup factor of the State Skip circuit.
+    """
+
+    def __init__(self, lfsr: LFSR, k: int):
+        self._lfsr = lfsr
+        self._circuit = StateSkipCircuit(lfsr.transition, k)
+        self._mode = LFSRMode.NORMAL
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of_size(cls, size: int, k: int, style: str = "fibonacci") -> "StateSkipLFSR":
+        """Build from the default feedback polynomial for ``size``."""
+        return cls(LFSR.of_size(size, style=style), k)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._lfsr.size
+
+    @property
+    def k(self) -> int:
+        """Speedup factor of the integrated State Skip circuit."""
+        return self._circuit.k
+
+    @property
+    def mode(self) -> LFSRMode:
+        return self._mode
+
+    @property
+    def state(self) -> BitVector:
+        return self._lfsr.state
+
+    @property
+    def lfsr(self) -> LFSR:
+        """The underlying normal LFSR."""
+        return self._lfsr
+
+    @property
+    def skip_circuit(self) -> StateSkipCircuit:
+        return self._circuit
+
+    @property
+    def transition(self) -> GF2Matrix:
+        return self._lfsr.transition
+
+    # ------------------------------------------------------------------
+    # Operation
+    # ------------------------------------------------------------------
+    def load(self, seed: BitVector) -> None:
+        """Load a seed into the register."""
+        self._lfsr.load(seed)
+
+    def set_mode(self, mode: LFSRMode) -> None:
+        """Drive the Normal / State Skip select signal."""
+        if not isinstance(mode, LFSRMode):
+            raise TypeError("mode must be an LFSRMode")
+        self._mode = mode
+
+    def step(self, cycles: int = 1) -> BitVector:
+        """Advance ``cycles`` clock cycles in the current mode.
+
+        In Normal mode every clock advances one state; in State Skip mode
+        every clock advances ``k`` states.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        state = self._lfsr.state
+        if self._mode is LFSRMode.NORMAL:
+            state = self._lfsr.step(cycles)
+        else:
+            for _ in range(cycles):
+                state = self._circuit.evaluate(state)
+            self._lfsr.load(state)
+        return state
+
+    def states_advanced_per_clock(self) -> int:
+        """How many LFSR states one clock cycle advances in the current mode."""
+        return 1 if self._mode is LFSRMode.NORMAL else self._circuit.k
+
+    def run_normal(self, count: int) -> List[BitVector]:
+        """Collect ``count`` states in Normal mode (starting from the current)."""
+        self.set_mode(LFSRMode.NORMAL)
+        return self._lfsr.run(count)
+
+    def run_skip(self, count: int) -> List[BitVector]:
+        """Collect ``count`` states in State Skip mode (every k-th state)."""
+        self.set_mode(LFSRMode.STATE_SKIP)
+        out = []
+        for _ in range(count):
+            out.append(self._lfsr.state)
+            self.step()
+        return out
+
+    # ------------------------------------------------------------------
+    # Verification and cost
+    # ------------------------------------------------------------------
+    def verify_skip_equivalence(self, seed: BitVector, jumps: int = 8) -> bool:
+        """Check that ``jumps`` State Skip steps equal ``jumps * k`` normal steps.
+
+        This is the functional-correctness property of the State Skip circuit
+        (equation (1) of the paper holds for every ``i``), verified by direct
+        simulation from the given seed.
+        """
+        normal = LFSR(self._lfsr.transition, seed)
+        skip_state = seed
+        for _ in range(jumps):
+            skip_state = self._circuit.evaluate(skip_state)
+        normal.step(jumps * self._circuit.k)
+        return normal.state == skip_state
+
+    def skip_cost(
+        self, xor_ge: float = XOR2_GE, mux_ge: float = MUX2_GE
+    ) -> StateSkipCost:
+        """Gate-equivalent cost of the added State Skip hardware."""
+        return self._circuit.cost(xor_ge=xor_ge, mux_ge=mux_ge)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateSkipLFSR(size={self.size}, k={self.k}, mode={self._mode.value})"
+        )
+
+
+def skip_cost_sweep(
+    transition: GF2Matrix,
+    k_values: List[int],
+    xor_ge: float = XOR2_GE,
+    mux_ge: float = MUX2_GE,
+) -> List[StateSkipCost]:
+    """Cost of the State Skip circuit for a sweep of speedup factors.
+
+    Used by the hardware-overhead experiment of Section 4 (State Skip circuit
+    GE as a function of ``k``).
+    """
+    costs = []
+    for k in k_values:
+        circuit = StateSkipCircuit(transition, k)
+        costs.append(circuit.cost(xor_ge=xor_ge, mux_ge=mux_ge))
+    return costs

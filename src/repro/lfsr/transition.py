@@ -1,0 +1,187 @@
+"""LFSR transition matrices and symbolic simulation.
+
+An LFSR with cells ``c0 .. c(n-1)`` is a linear finite-state machine: the next
+state is ``A @ state`` for a fixed GF(2) matrix ``A`` determined by the LFSR
+structure (Fibonacci or Galois) and its characteristic polynomial.  The linear
+expressions ``F_0^k .. F_{n-1}^k`` of the paper (equation (1)) are simply the
+rows of ``A^k``: integrating them as a second feedback network is what turns a
+normal LFSR into a State Skip LFSR.
+
+Conventions used throughout the library
+---------------------------------------
+* Cell ``c0`` is the cell whose output feeds the phase shifter first (and, in
+  a plain single-output LFSR, the serial output).
+* For the **Fibonacci** (external-XOR) form with characteristic polynomial
+  ``p(x) = x^n + sum_{t in taps} x^t + 1`` the register shifts from high index
+  to low index: ``c_i(t+1) = c_{i+1}(t)`` for ``i < n-1`` and the new value of
+  ``c_{n-1}`` is the XOR of the tap cells.
+* For the **Galois** (internal-XOR) form the output of ``c_{n-1}`` wraps to
+  ``c_0`` and is XOR-ed into the cells selected by the polynomial taps.
+
+The exact structure matters only for hardware-cost book-keeping and for
+matching the paper's Fig. 2 example; every algorithm in the library works on
+the transition matrix alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import GF2Matrix, identity
+from repro.gf2.polynomial import GF2Polynomial
+
+
+def _validate_polynomial(poly: GF2Polynomial) -> int:
+    degree = poly.degree
+    if degree < 2:
+        raise ValueError("characteristic polynomial must have degree >= 2")
+    if poly.coefficient(0) != 1:
+        raise ValueError(
+            "characteristic polynomial must have a non-zero constant term "
+            "(otherwise the LFSR is singular)"
+        )
+    return degree
+
+
+def fibonacci_transition_matrix(poly: GF2Polynomial) -> GF2Matrix:
+    """Transition matrix of the Fibonacci (external-XOR) LFSR for ``poly``.
+
+    ``c_i(t+1) = c_{i+1}(t)`` for ``i < n-1``;
+    ``c_{n-1}(t+1) = XOR of c_t for every tap t of the polynomial`` (the
+    constant term contributes cell ``c_0``; the ``x^n`` term is the register
+    output itself and does not appear as a tap).
+    """
+    n = _validate_polynomial(poly)
+    rows = []
+    for i in range(n - 1):
+        rows.append(1 << (i + 1))
+    feedback = 0
+    for exponent in poly.exponents():
+        if exponent == n:
+            continue
+        feedback |= 1 << exponent
+    rows.append(feedback)
+    return GF2Matrix(n, n, rows)
+
+
+def galois_transition_matrix(poly: GF2Polynomial) -> GF2Matrix:
+    """Transition matrix of the Galois (internal-XOR) LFSR for ``poly``.
+
+    The register shifts ``c_i(t+1) = c_{i-1}(t)`` with the output of the last
+    cell wrapping around to ``c_0``; that same output is XOR-ed into cell
+    ``c_i`` for every non-zero tap ``x^i`` of the polynomial (``0 < i < n``).
+    """
+    n = _validate_polynomial(poly)
+    last = n - 1
+    rows = []
+    for i in range(n):
+        if i == 0:
+            row = 1 << last
+        else:
+            row = 1 << (i - 1)
+            if poly.coefficient(i):
+                row |= 1 << last
+        rows.append(row)
+    return GF2Matrix(n, n, rows)
+
+
+def paper_example_matrix() -> GF2Matrix:
+    """The 4-bit LFSR of Fig. 2 of the paper.
+
+    The symbolic state table of the figure corresponds to the transition
+
+    ====  ==========================
+    cell  next value
+    ====  ==========================
+    c0    c3
+    c1    c0 XOR c3
+    c2    c1
+    c3    c2 XOR c3
+    ====  ==========================
+    """
+    return GF2Matrix.from_rows(
+        [
+            [0, 0, 0, 1],  # c0' = c3
+            [1, 0, 0, 1],  # c1' = c0 + c3
+            [0, 1, 0, 0],  # c2' = c1
+            [0, 0, 1, 1],  # c3' = c2 + c3
+        ]
+    )
+
+
+def symbolic_states(transition: GF2Matrix, cycles: int) -> List[GF2Matrix]:
+    """Symbolic LFSR contents for cycles ``t0 .. t_cycles``.
+
+    Entry ``t`` is the matrix whose row ``i`` gives cell ``c_i`` at cycle
+    ``t`` as a linear expression of the initial contents ``a0 .. a(n-1)``
+    (exactly the table in Fig. 2 of the paper).  Entry 0 is the identity.
+    """
+    if transition.nrows != transition.ncols:
+        raise ValueError("transition matrix must be square")
+    if cycles < 0:
+        raise ValueError("cycles must be non-negative")
+    states = [identity(transition.ncols)]
+    for _ in range(cycles):
+        states.append(transition @ states[-1])
+    return states
+
+
+def state_skip_expressions(transition: GF2Matrix, k: int) -> GF2Matrix:
+    """The linear expressions ``F_0^k .. F_{n-1}^k`` of equation (1).
+
+    Row ``i`` of the returned matrix gives ``c_i(t_{j+k})`` as a function of
+    ``(c_0(t_j) .. c_{n-1}(t_j))`` for *any* cycle ``t_j`` -- this is the
+    combinational function the State Skip circuit implements.
+    """
+    if k < 1:
+        raise ValueError("speedup factor k must be at least 1")
+    if transition.nrows != transition.ncols:
+        raise ValueError("transition matrix must be square")
+    return transition.power(k)
+
+
+def output_sequence(
+    transition: GF2Matrix, initial_state: BitVector, cycles: int, cell: int = 0
+) -> List[int]:
+    """Logic values of one LFSR cell over a number of cycles (cycle 0 first)."""
+    if initial_state.length != transition.ncols:
+        raise ValueError("initial state length does not match the LFSR size")
+    if not 0 <= cell < transition.ncols:
+        raise IndexError(f"cell {cell} out of range")
+    state = initial_state
+    out = []
+    for _ in range(cycles):
+        out.append(state[cell])
+        state = transition.mul_vector(state)
+    return out
+
+
+def characteristic_order(transition: GF2Matrix, limit: int = 1 << 20) -> int:
+    """Multiplicative order of the transition matrix (state-sequence period).
+
+    Walks powers of the matrix applied to a unit vector until the identity
+    recurs; raises :class:`ValueError` when the order exceeds ``limit`` (which
+    protects against accidentally walking a 2^80 state space).
+    """
+    n = transition.ncols
+    state = identity(n)
+    for step in range(1, limit + 1):
+        state = state @ transition
+        if state == identity(n):
+            return step
+    raise ValueError(f"order exceeds limit {limit}")
+
+
+def expand_states(
+    transition: GF2Matrix, seed: BitVector, count: int
+) -> List[BitVector]:
+    """The state sequence ``seed, A seed, A^2 seed, ...`` (``count`` entries)."""
+    if seed.length != transition.ncols:
+        raise ValueError("seed length does not match the LFSR size")
+    states = []
+    state = seed
+    for _ in range(count):
+        states.append(state)
+        state = transition.mul_vector(state)
+    return states

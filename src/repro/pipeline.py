@@ -1,0 +1,219 @@
+"""The complete State-Skip-LFSR compression flow in one call.
+
+:func:`compress` takes a test set (from a core vendor, from the ATPG
+substrate, or from the calibrated synthetic generators) and a
+:class:`~repro.config.CompressionConfig` and runs:
+
+1. window-based LFSR-reseeding seed computation (Section 2),
+2. the State Skip test-sequence reduction (Section 3.2),
+3. the gate-equivalent hardware model of the decompressor (Section 3.3 / 4),
+4. optionally, a clock-level decompressor simulation that replays the
+   schedule and checks that every test cube really reaches the scan chains.
+
+The returned :class:`CompressionReport` carries every figure of merit the
+paper reports (TDV, original window TSL, reduced TSL, improvement %, GE
+breakdown) plus the underlying result objects for deeper inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.config import CompressionConfig
+from repro.decompressor.architecture import SimulationOutcome, simulate_decompression
+from repro.decompressor.hardware import (
+    GateCostModel,
+    HardwareReport,
+    decompressor_cost,
+)
+from repro.encoding.encoder import ReseedingEncoder
+from repro.encoding.results import EncodingResult
+from repro.encoding.window import EncodingError, verify_encoding
+from repro.skip.reduction import ReductionConfig, ReductionResult, SequenceReducer
+from repro.testdata.literature import tsl_improvement
+from repro.testdata.profiles import CircuitProfile
+from repro.testdata.synthetic import generate_test_set
+from repro.testdata.test_set import TestSet
+
+
+@dataclass
+class CompressionReport:
+    """Everything produced by one run of the flow."""
+
+    circuit: str
+    config: CompressionConfig
+    encoding: EncodingResult
+    reduction: ReductionResult
+    hardware: HardwareReport
+    encoding_verified: bool
+    simulation: Optional[SimulationOutcome] = None
+
+    # ------------------------------------------------------------------
+    # Figures of merit
+    # ------------------------------------------------------------------
+    @property
+    def test_data_volume(self) -> int:
+        """Bits stored on the ATE."""
+        return self.encoding.test_data_volume
+
+    @property
+    def window_tsl(self) -> int:
+        """Vectors applied by the original window-based scheme."""
+        return self.encoding.test_sequence_length
+
+    @property
+    def state_skip_tsl(self) -> int:
+        """Vectors applied with State Skip reduction (the paper's "Prop.")."""
+        return self.reduction.test_sequence_length
+
+    @property
+    def improvement_percent(self) -> float:
+        """TSL improvement of the proposed method over the window baseline."""
+        return tsl_improvement(self.state_skip_tsl, self.window_tsl)
+
+    @property
+    def num_seeds(self) -> int:
+        return self.encoding.num_seeds
+
+    @property
+    def hardware_total_ge(self) -> float:
+        return self.hardware.total
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "lfsr_size": self.encoding.lfsr_size,
+            "window_length": self.config.window_length,
+            "segment_size": self.config.segment_size,
+            "speedup": self.config.speedup,
+            "num_cubes": self.encoding.num_cubes,
+            "num_seeds": self.num_seeds,
+            "tdv_bits": self.test_data_volume,
+            "window_tsl": self.window_tsl,
+            "state_skip_tsl": self.state_skip_tsl,
+            "improvement_pct": round(self.improvement_percent, 1),
+            "hardware_ge": round(self.hardware_total_ge, 1),
+            "encoding_verified": self.encoding_verified,
+            "simulated": self.simulation is not None,
+        }
+
+
+def compress(
+    test_set: TestSet,
+    config: Optional[CompressionConfig] = None,
+    verify: bool = True,
+    simulate: bool = False,
+    cost_model: Optional[GateCostModel] = None,
+) -> CompressionReport:
+    """Run the full flow on a test set.
+
+    Parameters
+    ----------
+    test_set:
+        The pre-computed test cubes of the IP core.
+    config:
+        Flow parameters; defaults to :class:`CompressionConfig` defaults
+        (L=200, S=10, k=10 -- the paper's SoC setting).
+    verify:
+        Re-expand every seed and check each encoded cube against its window
+        position (cheap, algebraic).
+    simulate:
+        Additionally replay the schedule through the clock-level decompressor
+        simulation and check cube delivery end to end (slower; great for
+        examples and acceptance tests).
+    cost_model:
+        Standard-cell GE weights for the hardware report.
+    """
+    config = config or CompressionConfig()
+    encoder, encoding = _encode_with_retries(test_set, config)
+    if verify:
+        violations = verify_encoding(encoding, test_set, encoder.equations)
+        if violations:
+            raise RuntimeError(
+                f"encoding verification failed for {len(violations)} embeddings; "
+                f"first: {violations[0]}"
+            )
+    reducer = SequenceReducer(
+        encoder.equations,
+        ReductionConfig(
+            segment_size=config.segment_size,
+            speedup=config.speedup,
+            alignment=config.alignment,
+            force_first_segment_useful=config.force_first_segment_useful,
+        ),
+    )
+    reduction = reducer.reduce(encoding, test_set)
+    hardware = decompressor_cost(
+        transition=encoder.lfsr.transition,
+        speedup=config.speedup,
+        phase_shifter=encoder.phase_shifter,
+        chain_length=encoder.architecture.chain_length,
+        segment_size=config.segment_size,
+        segments_per_window=reduction.num_segments_per_window,
+        useful_segments_per_seed=[s.useful_segments for s in reduction.schedules],
+        model=cost_model,
+    )
+    simulation = None
+    if simulate:
+        simulation = simulate_decompression(
+            encoding,
+            reduction,
+            encoder.lfsr.transition,
+            encoder.phase_shifter,
+            encoder.architecture,
+        )
+        uncovered = simulation.uncovered_cubes(test_set)
+        if uncovered:
+            raise RuntimeError(
+                f"decompressor simulation left {len(uncovered)} cubes unapplied"
+            )
+    return CompressionReport(
+        circuit=test_set.name,
+        config=config,
+        encoding=encoding,
+        reduction=reduction,
+        hardware=hardware,
+        encoding_verified=verify,
+        simulation=simulation,
+    )
+
+
+def compress_profile(
+    profile: CircuitProfile,
+    config: Optional[CompressionConfig] = None,
+    scale: Optional[float] = None,
+    seed: int = 1,
+    **kwargs,
+) -> CompressionReport:
+    """Generate the calibrated test set of a profile and compress it."""
+    test_set = generate_test_set(profile, seed=seed, scale=scale)
+    config = config or CompressionConfig()
+    if config.lfsr_size is None:
+        config = config.with_updates(lfsr_size=profile.lfsr_size)
+    return compress(test_set, config, **kwargs)
+
+
+def _encode_with_retries(
+    test_set: TestSet, config: CompressionConfig
+) -> "tuple[ReseedingEncoder, EncodingResult]":
+    """Build the encoder, retrying with fresh phase shifters on hard conflicts."""
+    lfsr_size = config.lfsr_size
+    if lfsr_size is None:
+        lfsr_size = test_set.max_specified() + 8
+    last_error: Optional[EncodingError] = None
+    for attempt in range(config.max_phase_retries + 1):
+        encoder = ReseedingEncoder(
+            num_cells=test_set.num_cells,
+            num_scan_chains=config.num_scan_chains,
+            lfsr_size=lfsr_size,
+            window_length=config.window_length,
+            phase_taps=config.phase_taps,
+            phase_seed=config.phase_seed + attempt,
+            fill_seed=config.fill_seed,
+        )
+        try:
+            return encoder, encoder.encode(test_set)
+        except EncodingError as error:
+            last_error = error
+    raise last_error

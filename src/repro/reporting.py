@@ -1,0 +1,79 @@
+"""Plain-text table rendering for examples and the benchmark harness.
+
+The benchmark scripts regenerate the paper's tables; this module renders the
+measured-vs-published rows as aligned monospace tables so the output of
+``pytest benchmarks/`` (and of the examples) reads like the paper's own
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell) -> str:
+    """Render one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return (title + "\n") if title else ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), max(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in rendered:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines) + "\n"
+
+
+def comparison_row(
+    label: str,
+    measured: Dict[str, Cell],
+    published: Dict[str, Cell],
+    keys: Sequence[str],
+) -> Dict[str, Cell]:
+    """Merge measured and published values into one row (``key`` / ``key_paper``)."""
+    row: Dict[str, Cell] = {"circuit": label}
+    for key in keys:
+        row[key] = measured.get(key)
+        row[f"{key}_paper"] = published.get(key)
+    return row
+
+
+def improvement_table(
+    circuit: str,
+    sweep: Dict[int, Dict[int, float]],
+    row_label: str = "k",
+    column_label: str = "S",
+) -> str:
+    """Render a two-parameter sweep (e.g. Fig. 4) as a grid of percentages."""
+    columns = sorted({col for by_col in sweep.values() for col in by_col})
+    rows = []
+    for row_key in sorted(sweep):
+        row: Dict[str, Cell] = {row_label: row_key}
+        for col in columns:
+            row[f"{column_label}={col}"] = sweep[row_key].get(col)
+        rows.append(row)
+    return format_table(rows, title=f"TSL improvement (%) for {circuit}")

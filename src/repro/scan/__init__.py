@@ -1,0 +1,5 @@
+"""Scan-chain architecture of the core under test."""
+
+from repro.scan.architecture import ScanArchitecture, ScanCell
+
+__all__ = ["ScanArchitecture", "ScanCell"]

@@ -1,0 +1,24 @@
+"""Test cubes, test sets, calibrated benchmark profiles and literature data."""
+
+from repro.testdata.cube import TestCube
+from repro.testdata.test_set import TestSet
+from repro.testdata.profiles import (
+    CircuitProfile,
+    ISCAS89_PROFILES,
+    get_profile,
+    profile_names,
+)
+from repro.testdata.synthetic import SyntheticTestSetGenerator, generate_test_set
+from repro.testdata import literature
+
+__all__ = [
+    "TestCube",
+    "TestSet",
+    "CircuitProfile",
+    "ISCAS89_PROFILES",
+    "get_profile",
+    "profile_names",
+    "SyntheticTestSetGenerator",
+    "generate_test_set",
+    "literature",
+]

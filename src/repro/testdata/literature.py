@@ -1,0 +1,228 @@
+"""Published reference numbers from the paper and its comparison methods.
+
+The benchmark harness reports our measured results side by side with the
+numbers published in the paper, so the values of every table are recorded
+here verbatim:
+
+* :data:`TABLE1` -- classical vs window-based reseeding (TDV / TSL).
+* :data:`TABLE2` -- test-sequence-length improvements of the proposed method.
+* :data:`TABLE3` -- comparison against the test-set-embedding methods [11]
+  (Kaseridis et al., ETS 2005) and [22] (Li & Chakrabarty, TCAD 2004).
+* :data:`TABLE4` -- comparison against test-data-compression methods for IP
+  cores with multiple scan chains.
+* :data:`HARDWARE` -- the gate-equivalent figures quoted in Section 4.
+
+Competitor rows are literature constants (the paper itself compares against
+published numbers); the "classical" and "proposed" rows are also what our own
+implementation regenerates, which is how the benches check the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Table 1 -- Classical vs window-based LFSR reseeding.
+#: circuit -> {"lfsr": n, L -> {"tdv": bits, "tsl": vectors}}
+TABLE1: Dict[str, Dict] = {
+    "s9234": {
+        "lfsr": 44,
+        1: {"tdv": 10692, "tsl": 243},
+        50: {"tdv": 8008, "tsl": 9100},
+        200: {"tdv": 7128, "tsl": 32400},
+        500: {"tdv": 6688, "tsl": 76000},
+    },
+    "s13207": {
+        "lfsr": 24,
+        1: {"tdv": 8856, "tsl": 369},
+        50: {"tdv": 5328, "tsl": 11100},
+        200: {"tdv": 3816, "tsl": 31800},
+        500: {"tdv": 2688, "tsl": 56000},
+    },
+    "s15850": {
+        "lfsr": 39,
+        1: {"tdv": 11622, "tsl": 298},
+        50: {"tdv": 7410, "tsl": 9500},
+        200: {"tdv": 6669, "tsl": 34200},
+        500: {"tdv": 6201, "tsl": 79500},
+    },
+    "s38417": {
+        "lfsr": 85,
+        1: {"tdv": 58225, "tsl": 685},
+        50: {"tdv": 50660, "tsl": 29800},
+        200: {"tdv": 48110, "tsl": 113200},
+        500: {"tdv": 47005, "tsl": 276500},
+    },
+    "s38584": {
+        "lfsr": 56,
+        1: {"tdv": 22680, "tsl": 405},
+        50: {"tdv": 10584, "tsl": 9450},
+        200: {"tdv": 7056, "tsl": 25200},
+        500: {"tdv": 5152, "tsl": 46000},
+    },
+}
+
+#: Table 2 -- TSL of the original window-based method vs the proposed one.
+#: circuit -> L -> {"orig": vectors, "prop": vectors, "impr": percent}
+TABLE2: Dict[str, Dict[int, Dict[str, float]]] = {
+    "s9234": {
+        50: {"orig": 9100, "prop": 1082, "impr": 88.0},
+        200: {"orig": 32400, "prop": 1784, "impr": 94.0},
+        500: {"orig": 76000, "prop": 3055, "impr": 96.0},
+    },
+    "s13207": {
+        50: {"orig": 11100, "prop": 1309, "impr": 88.0},
+        200: {"orig": 31800, "prop": 1756, "impr": 94.0},
+        500: {"orig": 56000, "prop": 2701, "impr": 95.0},
+    },
+    "s15850": {
+        50: {"orig": 9500, "prop": 1129, "impr": 88.0},
+        200: {"orig": 34200, "prop": 1740, "impr": 95.0},
+        500: {"orig": 79500, "prop": 2791, "impr": 96.0},
+    },
+    "s38417": {
+        50: {"orig": 29800, "prop": 7626, "impr": 74.0},
+        200: {"orig": 113200, "prop": 13113, "impr": 88.0},
+        500: {"orig": 276500, "prop": 21865, "impr": 92.0},
+    },
+    "s38584": {
+        50: {"orig": 9450, "prop": 3805, "impr": 60.0},
+        200: {"orig": 25200, "prop": 6639, "impr": 74.0},
+        500: {"orig": 46000, "prop": 9054, "impr": 80.0},
+    },
+}
+
+#: Table 3 -- comparison against test set embedding methods, L = 300.
+#: circuit -> method -> {"tdv": ..., "tsl": ...}; "prop" is the paper's own.
+TABLE3: Dict[str, Dict[str, Dict[str, int]]] = {
+    "s9234": {
+        "kaseridis05": {"tdv": 7020, "tsl": 24592},
+        "li_chakrabarty04": {"tdv": 648, "tsl": 135765},
+        "prop": {"tdv": 6864, "tsl": 2163},
+    },
+    "s13207": {
+        "kaseridis05": {"tdv": 3475, "tsl": 24724},
+        "li_chakrabarty04": {"tdv": 162, "tsl": 152596},
+        "prop": {"tdv": 3336, "tsl": 2072},
+    },
+    "s15850": {
+        "kaseridis05": {"tdv": 6520, "tsl": 27630},
+        "li_chakrabarty04": {"tdv": 396, "tsl": 222336},
+        "prop": {"tdv": 6357, "tsl": 2138},
+    },
+    "s38417": {
+        "kaseridis05": {"tdv": 48418, "tsl": 85885},
+        "li_chakrabarty04": {"tdv": 5440, "tsl": 625273},
+        "prop": {"tdv": 47855, "tsl": 18512},
+    },
+    "s38584": {
+        "kaseridis05": {"tdv": 6384, "tsl": 29358},
+        "li_chakrabarty04": {"tdv": 228, "tsl": 383009},
+        "prop": {"tdv": 6272, "tsl": 7489},
+    },
+}
+
+#: Table 3 -- published TSL improvements of the proposed method (percent).
+TABLE3_IMPROVEMENTS: Dict[str, Dict[str, float]] = {
+    "s9234": {"kaseridis05": 91.2, "li_chakrabarty04": 98.4},
+    "s13207": {"kaseridis05": 91.6, "li_chakrabarty04": 98.6},
+    "s15850": {"kaseridis05": 92.3, "li_chakrabarty04": 99.0},
+    "s38417": {"kaseridis05": 78.4, "li_chakrabarty04": 97.0},
+    "s38584": {"kaseridis05": 74.5, "li_chakrabarty04": 98.0},
+}
+
+#: Table 4 -- test data compression methods for IP cores with multiple scan
+#: chains.  Values are (TSL, TDV); ``None`` where the paper prints "-".
+#: "classical" is plain LFSR reseeding (L = 1), "prop" the proposed method at
+#: L = 200; both are regenerated by our implementation.
+TABLE4: Dict[str, Dict[str, Tuple[Optional[int], Optional[int]]]] = {
+    "s9234": {
+        "balakrishnan06": (170, 15092),
+        "krishna_touba02": (205, 12445),
+        "lee_touba04": (205, 10302),
+        "ward05": (205, None),
+        "li05": (159, 30144),
+        "reda_orailoglu02": (159, None),
+        "krishna_touba03": (None, None),
+        "respin02": (161, 17198),
+        "classical": (243, 10692),
+        "prop": (1784, 7128),
+    },
+    "s13207": {
+        "balakrishnan06": (229, 12798),
+        "krishna_touba02": (266, 11859),
+        "lee_touba04": (266, 10484),
+        "ward05": (266, 10810),
+        "li05": (236, 20988),
+        "reda_orailoglu02": (236, 74423),
+        "krishna_touba03": (266, 14307),
+        "respin02": (242, 26004),
+        "classical": (369, 8856),
+        "prop": (1756, 3816),
+    },
+    "s15850": {
+        "balakrishnan06": (244, 15480),
+        "krishna_touba02": (269, 12663),
+        "lee_touba04": (269, 11411),
+        "ward05": (269, 12405),
+        "li05": (126, 25140),
+        "reda_orailoglu02": (126, 26021),
+        "krishna_touba03": (226, 15067),
+        "respin02": (306, 32226),
+        "classical": (298, 11622),
+        "prop": (1740, 6669),
+    },
+    "s38417": {
+        "balakrishnan06": (376, 37020),
+        "krishna_touba02": (376, 36430),
+        "lee_touba04": (376, 32152),
+        "ward05": (376, 32154),
+        "li05": (99, 85225),
+        "reda_orailoglu02": (99, 45003),
+        "krishna_touba03": (376, 49001),
+        "respin02": (854, 89132),
+        "classical": (685, 58225),
+        "prop": (13113, 48110),
+    },
+    "s38584": {
+        "balakrishnan06": (296, 31574),
+        "krishna_touba02": (296, 30355),
+        "lee_touba04": (296, 31152),
+        "ward05": (296, 31000),
+        "li05": (136, 57120),
+        "reda_orailoglu02": (136, 73464),
+        "krishna_touba03": (296, 28994),
+        "respin02": (599, 63232),
+        "classical": (405, 22680),
+        "prop": (6639, 7056),
+    },
+}
+
+#: Section 4 hardware-overhead figures (all for gate-equivalent counts).
+HARDWARE: Dict[str, object] = {
+    # State Skip circuit of s13207's 24-bit LFSR.
+    "state_skip_s13207": {12: 52, 32: 119},
+    # Decompressor excluding the Mode Select unit (LFSR, phase shifter,
+    # counters, control), averaged over L and S.
+    "decompressor_rest_s13207": 320,
+    # Mode Select unit range over 50 <= L <= 500 and 2 <= S <= 50.
+    "mode_select_range": (44, 262),
+    # Multi-core SoC experiment: Mode Select per core, L=200, S=10, k=10.
+    "soc_mode_select_range": (107, 373),
+    # Decompressor area as a fraction of the SoC area.
+    "soc_area_fraction": 0.066,
+}
+
+#: Fig. 4 -- qualitative envelope of the TSL improvement (percent) on s13207.
+FIG4_RANGES: Dict[str, Tuple[float, float]] = {
+    # At k = 3 the improvement lies between ~69% and ~78% over the S sweep.
+    "k3": (69.0, 78.0),
+    # At k = 24 it lies between ~80% and ~93%.
+    "k24": (80.0, 93.0),
+}
+
+
+def tsl_improvement(proposed_tsl: float, reference_tsl: float) -> float:
+    """Relation (2) of the paper: TSL improvement percentage."""
+    if reference_tsl <= 0:
+        raise ValueError("reference TSL must be positive")
+    return (1.0 - proposed_tsl / reference_tsl) * 100.0

@@ -1,0 +1,186 @@
+"""Test sets: ordered collections of test cubes plus their statistics.
+
+A :class:`TestSet` is what the system integrator receives from the core
+vendor for an IP core: a list of pre-computed test cubes, all of the same
+width, with no structural information attached.  The class also carries the
+simple statistics (cube count, maximum and total specified bits) that drive
+LFSR sizing and the calibrated synthetic generators, plus a plain-text
+serialisation so generated sets can be stored alongside the benchmarks.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.testdata.cube import TestCube
+
+
+@dataclass(frozen=True)
+class TestSetStats:
+    """Summary statistics of a test set."""
+
+    #: Tell pytest this domain class is not a test-case class.
+    __test__ = False
+
+    num_cubes: int
+    num_cells: int
+    max_specified: int
+    min_specified: int
+    total_specified: int
+    mean_specified: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.num_cubes} cubes x {self.num_cells} cells, "
+            f"specified bits: max {self.max_specified}, "
+            f"mean {self.mean_specified:.1f}, total {self.total_specified}"
+        )
+
+
+class TestSet:
+    """An ordered, width-consistent collection of test cubes."""
+
+    #: Tell pytest this domain class is not a test-case class.
+    __test__ = False
+
+    def __init__(self, name: str, cubes: Sequence[TestCube]):
+        if not cubes:
+            raise ValueError("a test set needs at least one cube")
+        width = cubes[0].num_cells
+        for i, cube in enumerate(cubes):
+            if cube.num_cells != width:
+                raise ValueError(
+                    f"cube {i} has {cube.num_cells} cells, expected {width}"
+                )
+            if cube.is_empty():
+                raise ValueError(f"cube {i} has no specified bits")
+        self._name = name
+        self._cubes = list(cubes)
+        self._num_cells = width
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_cells(self) -> int:
+        return self._num_cells
+
+    @property
+    def cubes(self) -> List[TestCube]:
+        return list(self._cubes)
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __iter__(self) -> Iterator[TestCube]:
+        return iter(self._cubes)
+
+    def __getitem__(self, index: int) -> TestCube:
+        return self._cubes[index]
+
+    def stats(self) -> TestSetStats:
+        counts = [cube.specified_count() for cube in self._cubes]
+        return TestSetStats(
+            num_cubes=len(self._cubes),
+            num_cells=self._num_cells,
+            max_specified=max(counts),
+            min_specified=min(counts),
+            total_specified=sum(counts),
+            mean_specified=statistics.fmean(counts),
+        )
+
+    def max_specified(self) -> int:
+        """``s_max``: the largest specified-bit count over all cubes."""
+        return max(cube.specified_count() for cube in self._cubes)
+
+    def total_specified(self) -> int:
+        return sum(cube.specified_count() for cube in self._cubes)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def sorted_by_specified(self, descending: bool = True) -> "TestSet":
+        """Cubes ordered by specified-bit count (the encoder's base order)."""
+        ordered = sorted(
+            self._cubes, key=lambda c: c.specified_count(), reverse=descending
+        )
+        return TestSet(self._name, ordered)
+
+    def compacted(self) -> "TestSet":
+        """Greedy static compaction by compatibility merging.
+
+        Repeatedly merges each cube into the first compatible accumulated
+        cube.  The paper works with *uncompacted* test sets (and so do the
+        benchmarks), but compaction is a common pre-processing step and is
+        used by some of the comparison baselines.
+        """
+        merged: List[TestCube] = []
+        for cube in sorted(
+            self._cubes, key=lambda c: c.specified_count(), reverse=True
+        ):
+            for i, existing in enumerate(merged):
+                if existing.compatible(cube):
+                    merged[i] = existing.merge(cube)
+                    break
+            else:
+                merged.append(cube)
+        return TestSet(self._name, merged)
+
+    def subset(self, count: int) -> "TestSet":
+        """The first ``count`` cubes (used by scaled-down benchmark runs)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        return TestSet(self._name, self._cubes[: min(count, len(self._cubes))])
+
+    # ------------------------------------------------------------------
+    # Coverage checking
+    # ------------------------------------------------------------------
+    def uncovered_cubes(self, vectors: Iterable[int]) -> List[int]:
+        """Indices of cubes not covered by any of the given packed vectors."""
+        vector_list = list(vectors)
+        missing = []
+        for index, cube in enumerate(self._cubes):
+            if not any(cube.matches_vector(v) for v in vector_list):
+                missing.append(index)
+        return missing
+
+    def all_covered(self, vectors: Iterable[int]) -> bool:
+        """True when every cube is covered by at least one vector."""
+        return not self.uncovered_cubes(vectors)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Serialise as one cube string per line with a small header."""
+        lines = [f"# test set {self._name}", f"# cells {self._num_cells}"]
+        lines.extend(cube.to_string() for cube in self._cubes)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str, name: Optional[str] = None) -> "TestSet":
+        """Parse the :meth:`to_text` format (comments start with ``#``)."""
+        cubes = []
+        parsed_name = name or "testset"
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if name is None and line.startswith("# test set "):
+                    parsed_name = line[len("# test set "):].strip()
+                continue
+            cubes.append(TestCube.from_string(line))
+        return cls(parsed_name, cubes)
+
+    def __repr__(self) -> str:
+        return (
+            f"TestSet(name={self._name!r}, cubes={len(self._cubes)}, "
+            f"cells={self._num_cells})"
+        )

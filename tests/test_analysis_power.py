@@ -1,0 +1,129 @@
+"""Tests for the scan-shift power estimation extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.power import (
+    PowerStats,
+    power_saving_percent,
+    sequence_power,
+    weighted_transition_metric,
+)
+from repro.scan.architecture import ScanArchitecture
+
+
+class TestWeightedTransitionMetric:
+    def test_constant_vectors_have_zero_wtm(self):
+        arch = ScanArchitecture(num_cells=24, num_chains=4)
+        assert weighted_transition_metric(0, arch) == 0
+        all_ones = (1 << 24) - 1
+        assert weighted_transition_metric(all_ones, arch) == 0
+
+    def test_single_chain_known_value(self):
+        # One chain of 4 cells holding (depth 0..3) = 1, 0, 0, 0:
+        # a single transition between depths 0 and 1, weight r - 1 = 3.
+        arch = ScanArchitecture(num_cells=4, num_chains=1)
+        assert weighted_transition_metric(0b0001, arch) == 3
+
+    def test_alternating_pattern_is_peak(self):
+        arch = ScanArchitecture(num_cells=8, num_chains=1)
+        alternating = 0b01010101
+        constant = 0
+        assert weighted_transition_metric(alternating, arch) > weighted_transition_metric(
+            constant, arch
+        )
+
+    def test_chains_are_independent(self):
+        # Two chains: a transition on one chain does not depend on the other.
+        arch = ScanArchitecture(num_cells=8, num_chains=2)
+        only_chain0 = 0b00000001  # cell 0 = chain 0 depth 0
+        value = weighted_transition_metric(only_chain0, arch)
+        with_other_chain_constant_ones = only_chain0 | 0b10101010 & 0
+        assert weighted_transition_metric(with_other_chain_constant_ones, arch) == value
+
+
+class TestSequencePower:
+    def test_aggregation(self):
+        arch = ScanArchitecture(num_cells=4, num_chains=1)
+        stats = sequence_power([0b0001, 0b0000, 0b0101], arch)
+        assert stats.num_vectors == 3
+        assert stats.total_wtm == (3) + (0) + weighted_transition_metric(0b0101, arch)
+        assert stats.peak_wtm >= 3
+        assert stats.average_wtm == pytest.approx(stats.total_wtm / 3)
+
+    def test_empty_sequence(self):
+        arch = ScanArchitecture(num_cells=4, num_chains=1)
+        stats = sequence_power([], arch)
+        assert stats.num_vectors == 0
+        assert stats.average_wtm == 0.0
+
+    def test_power_saving_percent(self):
+        baseline = PowerStats(num_vectors=100, total_wtm=1000, peak_wtm=20)
+        reduced = PowerStats(num_vectors=20, total_wtm=250, peak_wtm=20)
+        assert power_saving_percent(baseline, reduced) == pytest.approx(75.0)
+        with pytest.raises(ValueError):
+            power_saving_percent(PowerStats(0, 0, 0), reduced)
+
+    def test_state_skip_reduces_shift_energy(self):
+        """End-to-end: the reduced sequence uses less shift energy."""
+        from repro.config import CompressionConfig
+        from repro.pipeline import compress
+        from repro.testdata.profiles import custom_profile
+        from repro.testdata.synthetic import generate_test_set
+
+        profile = custom_profile(
+            "power_unit", scan_cells=48, num_cubes=25, max_specified=8,
+            mean_specified=4.0, scan_chains=6, lfsr_size=14,
+        )
+        test_set = generate_test_set(profile, seed=13)
+        config = CompressionConfig(
+            window_length=20, segment_size=4, speedup=5,
+            num_scan_chains=6, lfsr_size=14,
+        )
+        report = compress(test_set, config, verify=True, simulate=False)
+        arch = ScanArchitecture(profile.scan_cells, profile.scan_chains)
+        # Baseline: every window vector of every seed is applied.
+        encoder_eq = None
+        from repro.encoding.encoder import ReseedingEncoder
+
+        encoder = ReseedingEncoder(48, 6, 14, window_length=20)
+        windows = encoder.equations.expand_seeds(
+            [record.seed for record in report.encoding.seeds]
+        )
+        baseline_vectors = [v for window in windows for v in window]
+        baseline = sequence_power(baseline_vectors, arch)
+        # Reduced: only the vectors of useful segments (a conservative
+        # under-count of the skip-mode garbage, still dominated by the
+        # baseline).
+        reduced_vectors = []
+        for schedule, window in zip(report.reduction.schedules, windows):
+            for plan in schedule.segments:
+                if plan.useful:
+                    start, end = plan.vector_range
+                    reduced_vectors.extend(window[start:end])
+        reduced = sequence_power(reduced_vectors, arch)
+        assert reduced.total_wtm < baseline.total_wtm
+        assert power_saving_percent(baseline, reduced) > 0.0
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+def test_wtm_bounded_by_maximum(vector):
+    arch = ScanArchitecture(num_cells=30, num_chains=5)
+    r = arch.chain_length
+    max_per_chain = sum(range(1, r))  # every adjacent pair toggles
+    value = weighted_transition_metric(vector, arch)
+    assert 0 <= value <= arch.num_chains * max_per_chain
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+def test_wtm_invariant_under_complement(vector):
+    arch = ScanArchitecture(num_cells=30, num_chains=5)
+    complement = ~vector & ((1 << 30) - 1)
+    assert weighted_transition_metric(vector, arch) == weighted_transition_metric(
+        complement, arch
+    )

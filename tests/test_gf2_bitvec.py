@@ -1,0 +1,180 @@
+"""Unit and property tests for :mod:`repro.gf2.bitvec`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gf2.bitvec import BitVector, parity
+
+
+class TestConstruction:
+    def test_from_bits_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        vec = BitVector.from_bits(bits)
+        assert vec.to_bits() == bits
+        assert vec.length == 7
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits([0, 2, 1])
+
+    def test_from_indices(self):
+        vec = BitVector.from_indices(8, [0, 3, 7])
+        assert vec.to_bits() == [1, 0, 0, 1, 0, 0, 0, 1]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector.from_indices(4, [4])
+
+    def test_ones(self):
+        assert BitVector.ones(5).to_bits() == [1] * 5
+
+    def test_unit(self):
+        vec = BitVector.unit(6, 2)
+        assert vec.to_bits() == [0, 0, 1, 0, 0, 0]
+
+    def test_unit_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector.unit(3, 3)
+
+    def test_value_masked_to_length(self):
+        vec = BitVector(3, 0b11111)
+        assert vec.value == 0b111
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_zero_length_vector(self):
+        vec = BitVector(0)
+        assert vec.length == 0
+        assert vec.is_zero()
+        assert vec.to_bits() == []
+
+    def test_from_string_roundtrip(self):
+        vec = BitVector.from_string("10110")
+        assert vec.to_string() == "10110"
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            BitVector.from_string("10a1")
+
+
+class TestAlgebra:
+    def test_xor_is_addition(self):
+        a = BitVector.from_string("1100")
+        b = BitVector.from_string("1010")
+        assert (a ^ b).to_string() == "0110"
+        assert (a + b) == (a ^ b)
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector(3) ^ BitVector(4)
+
+    def test_and(self):
+        a = BitVector.from_string("1100")
+        b = BitVector.from_string("1010")
+        assert (a & b).to_string() == "1000"
+
+    def test_dot_product(self):
+        a = BitVector.from_string("1101")
+        b = BitVector.from_string("1011")
+        # overlap at positions 0 and 3 -> parity 0
+        assert a.dot(b) == 0
+        c = BitVector.from_string("1000")
+        assert a.dot(c) == 1
+
+    def test_weight_and_support(self):
+        vec = BitVector.from_string("010110")
+        assert vec.weight() == 3
+        assert vec.support() == [1, 3, 4]
+
+    def test_set_bit(self):
+        vec = BitVector.from_string("0000")
+        assert vec.set(2, 1).to_string() == "0010"
+        assert vec.set(2, 1).set(2, 0).to_string() == "0000"
+
+    def test_set_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            BitVector(4).set(0, 2)
+
+    def test_concat(self):
+        a = BitVector.from_string("101")
+        b = BitVector.from_string("01")
+        assert a.concat(b).to_string() == "10101"
+
+    def test_slice(self):
+        vec = BitVector.from_string("101101")
+        assert vec.slice(1, 4).to_string() == "011"
+
+    def test_slice_bounds(self):
+        with pytest.raises(IndexError):
+            BitVector(4).slice(2, 5)
+
+    def test_getitem_and_iter(self):
+        vec = BitVector.from_string("1010")
+        assert vec[0] == 1
+        assert vec[1] == 0
+        assert list(vec) == [1, 0, 1, 0]
+        with pytest.raises(IndexError):
+            _ = vec[4]
+
+    def test_equality_and_hash(self):
+        a = BitVector.from_string("101")
+        b = BitVector.from_string("101")
+        c = BitVector.from_string("1010")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestParityHelper:
+    def test_parity(self):
+        assert parity(0) == 0
+        assert parity(0b1011) == 1
+        assert parity(0b1111) == 0
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=96)
+
+
+@given(bit_lists)
+def test_roundtrip_property(bits):
+    assert BitVector.from_bits(bits).to_bits() == bits
+
+
+@given(bit_lists)
+def test_xor_self_is_zero(bits):
+    vec = BitVector.from_bits(bits)
+    assert (vec ^ vec).is_zero()
+
+
+@given(bit_lists, bit_lists)
+def test_xor_commutative(a_bits, b_bits):
+    n = min(len(a_bits), len(b_bits))
+    a = BitVector.from_bits(a_bits[:n])
+    b = BitVector.from_bits(b_bits[:n])
+    assert a ^ b == b ^ a
+
+
+@given(bit_lists)
+def test_weight_matches_sum(bits):
+    assert BitVector.from_bits(bits).weight() == sum(bits)
+
+
+@given(bit_lists, bit_lists)
+def test_dot_symmetric(a_bits, b_bits):
+    n = min(len(a_bits), len(b_bits))
+    a = BitVector.from_bits(a_bits[:n])
+    b = BitVector.from_bits(b_bits[:n])
+    assert a.dot(b) == b.dot(a)
+
+
+@given(bit_lists)
+def test_support_indexes_ones(bits):
+    vec = BitVector.from_bits(bits)
+    support = vec.support()
+    assert all(bits[i] == 1 for i in support)
+    assert len(support) == sum(bits)

@@ -1,0 +1,210 @@
+"""Tests for the incremental GF(2) solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import GF2Matrix
+from repro.gf2.solve import Equation, IncrementalSolver, SolveOutcome, gaussian_solve
+
+
+def _pack(coeff_bits):
+    """Pack a left-to-right coefficient string where char i is variable i."""
+    value = 0
+    for i, ch in enumerate(coeff_bits):
+        if ch == "1":
+            value |= 1 << i
+    return value
+
+
+def eq(coeff_bits, rhs):
+    """Shorthand for an Equation from a coefficient string (char i = var i)."""
+    return Equation(_pack(coeff_bits), rhs)
+
+
+class TestEquation:
+    def test_rejects_bad_rhs(self):
+        with pytest.raises(ValueError):
+            Equation(0b1, 2)
+
+    def test_from_bitvector(self):
+        e = Equation.from_bitvector(BitVector.from_string("101"), 1)
+        assert e.coeffs == 0b101
+        assert e.rhs == 1
+
+
+class TestIncrementalSolver:
+    def test_requires_positive_variables(self):
+        with pytest.raises(ValueError):
+            IncrementalSolver(0)
+
+    def test_simple_consistent_system(self):
+        solver = IncrementalSolver(3)
+        # x0 ^ x1 = 1, x1 = 1, x2 = 0
+        trial = solver.add_equations(
+            [eq("110", 1), eq("010", 1), eq("001", 0)]
+        )
+        assert trial.consistent
+        solution = solver.solution()
+        assert solution.to_bits() == [0, 1, 0]
+
+    def test_inconsistent_system_detected(self):
+        solver = IncrementalSolver(2)
+        assert solver.add_equations([eq("10", 1)]).consistent
+        trial = solver.try_equations([eq("10", 0)])
+        assert trial.outcome is SolveOutcome.INCONSISTENT
+
+    def test_try_does_not_commit(self):
+        solver = IncrementalSolver(3)
+        trial = solver.try_equations([eq("100", 1)])
+        assert trial.consistent
+        assert solver.rank == 0
+        solver.commit(trial)
+        assert solver.rank == 1
+
+    def test_new_pivot_counting(self):
+        solver = IncrementalSolver(4)
+        solver.add_equations([eq("1000", 1)])
+        trial = solver.try_equations([eq("1100", 0), eq("0010", 1)])
+        # x0 already pinned, so the batch pins x1 and x2 -> 2 new pivots.
+        assert trial.consistent
+        assert trial.new_pivots == 2
+
+    def test_redundant_equation_adds_no_pivot(self):
+        solver = IncrementalSolver(3)
+        solver.add_equations([eq("110", 1), eq("011", 0)])
+        trial = solver.try_equations([eq("101", 1)])  # sum of the two
+        assert trial.consistent
+        assert trial.new_pivots == 0
+
+    def test_free_variable_fill(self):
+        solver = IncrementalSolver(4)
+        solver.add_equations([eq("1000", 1)])
+        zeros_fill = solver.solution(free_fill=[0])
+        ones_fill = solver.solution(free_fill=[1])
+        assert zeros_fill[0] == 1 and ones_fill[0] == 1
+        assert zeros_fill.to_bits()[1:] == [0, 0, 0]
+        assert ones_fill.to_bits()[1:] == [1, 1, 1]
+
+    def test_solution_satisfies_committed_equations(self):
+        equations = [eq("1101", 1), eq("0110", 0), eq("0011", 1), eq("1000", 0)]
+        solver = IncrementalSolver(4)
+        trial = solver.add_equations(equations)
+        assert trial.consistent
+        solution = solver.solution(free_fill=[1, 0, 1])
+        assert solver.check_solution(solution, equations)
+
+    def test_commit_inconsistent_rejected(self):
+        solver = IncrementalSolver(2)
+        trial = solver.try_equations([eq("10", 1), eq("10", 0)])
+        with pytest.raises(ValueError):
+            solver.commit(trial)
+
+    def test_copy_is_independent(self):
+        solver = IncrementalSolver(3)
+        solver.add_equations([eq("100", 1)])
+        clone = solver.copy()
+        clone.add_equations([eq("010", 1)])
+        assert solver.rank == 1
+        assert clone.rank == 2
+
+    def test_rank_and_free_variables(self):
+        solver = IncrementalSolver(5)
+        solver.add_equations([eq("10000", 0), eq("01000", 1)])
+        assert solver.rank == 2
+        assert solver.free_variables == 3
+        assert solver.pivot_columns() == [0, 1]
+        assert solver.is_determined(0)
+        assert not solver.is_determined(4)
+
+    def test_try_masks_matches_try_equations(self):
+        solver = IncrementalSolver(4)
+        solver.add_equations([eq("1100", 1)])
+        eqs = [eq("0110", 1), eq("0011", 0)]
+        masks = [(e.coeffs, e.rhs) for e in eqs]
+        t1 = solver.try_equations(eqs)
+        t2 = solver.try_masks(masks)
+        assert t1.outcome == t2.outcome
+        assert t1.new_pivots == t2.new_pivots
+
+
+class TestGaussianSolve:
+    def test_solves_invertible_system(self):
+        equations = [eq("110", 1), eq("011", 1), eq("001", 1)]
+        solution = gaussian_solve(equations, 3)
+        assert solution is not None
+        for e in equations:
+            assert (BitVector(3, e.coeffs) & solution).weight() % 2 == e.rhs
+
+    def test_returns_none_for_inconsistent(self):
+        equations = [eq("110", 1), eq("110", 0)]
+        assert gaussian_solve(equations, 3) is None
+
+
+# ----------------------------------------------------------------------
+# Property-based tests: random systems derived from a known solution are
+# always consistent and the solver's solution satisfies them.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=24),
+    st.data(),
+)
+def test_random_satisfiable_systems(num_vars, data):
+    secret_bits = data.draw(
+        st.lists(st.integers(0, 1), min_size=num_vars, max_size=num_vars)
+    )
+    secret = BitVector.from_bits(secret_bits)
+    num_eqs = data.draw(st.integers(min_value=1, max_value=2 * num_vars))
+    equations = []
+    for _ in range(num_eqs):
+        coeff_bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=num_vars, max_size=num_vars)
+        )
+        coeffs = BitVector.from_bits(coeff_bits)
+        equations.append(Equation(coeffs.value, coeffs.dot(secret)))
+    solver = IncrementalSolver(num_vars)
+    trial = solver.add_equations(equations)
+    assert trial.consistent
+    solution = solver.solution()
+    assert solver.check_solution(solution, equations)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=16),
+    st.data(),
+)
+def test_incremental_matches_batch_rank(num_vars, data):
+    """Adding equations one at a time gives the same rank as the matrix rank."""
+    num_eqs = data.draw(st.integers(min_value=1, max_value=2 * num_vars))
+    rows = [
+        data.draw(st.lists(st.integers(0, 1), min_size=num_vars, max_size=num_vars))
+        for _ in range(num_eqs)
+    ]
+    solver = IncrementalSolver(num_vars)
+    for row in rows:
+        coeffs = BitVector.from_bits(row)
+        solver.add_equations([Equation(coeffs.value, 0)])  # rhs 0: always consistent
+    assert solver.rank == GF2Matrix.from_rows(rows).rank()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=16), st.data())
+def test_new_pivots_equals_rank_increase(num_vars, data):
+    num_eqs = data.draw(st.integers(min_value=1, max_value=num_vars))
+    secret_bits = data.draw(
+        st.lists(st.integers(0, 1), min_size=num_vars, max_size=num_vars)
+    )
+    secret = BitVector.from_bits(secret_bits)
+    solver = IncrementalSolver(num_vars)
+    for _ in range(num_eqs):
+        coeff_bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=num_vars, max_size=num_vars)
+        )
+        coeffs = BitVector.from_bits(coeff_bits)
+        equation = Equation(coeffs.value, coeffs.dot(secret))
+        before = solver.rank
+        trial = solver.try_equations([equation])
+        solver.commit(trial)
+        assert solver.rank - before == trial.new_pivots

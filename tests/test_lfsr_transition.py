@@ -1,0 +1,196 @@
+"""Tests for transition matrices and symbolic LFSR simulation.
+
+Includes an exact reproduction of the Fig. 2 example of the paper (both the
+symbolic state table and the k = 2 State Skip relations).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import identity
+from repro.gf2.polynomial import GF2Polynomial
+from repro.gf2.primitive import primitive_polynomial
+from repro.lfsr.transition import (
+    characteristic_order,
+    expand_states,
+    fibonacci_transition_matrix,
+    galois_transition_matrix,
+    output_sequence,
+    paper_example_matrix,
+    state_skip_expressions,
+    symbolic_states,
+)
+
+
+def bits(text):
+    return BitVector.from_string(text)
+
+
+class TestPaperExample:
+    """Fig. 2 of the paper: 4-bit LFSR, symbolic table and k = 2 skip."""
+
+    def test_symbolic_state_table_matches_figure(self):
+        # Figure's table: rows t0..t3, entries are linear expressions of
+        # (a0, a1, a2, a3).  We encode each expression as the set of a-indices.
+        A = paper_example_matrix()
+        states = symbolic_states(A, 3)
+
+        def cell_expr(t, cell):
+            return set(states[t].row(cell).support())
+
+        # t0: initial state
+        assert cell_expr(0, 0) == {0}
+        assert cell_expr(0, 1) == {1}
+        assert cell_expr(0, 2) == {2}
+        assert cell_expr(0, 3) == {3}
+        # t1
+        assert cell_expr(1, 0) == {3}
+        assert cell_expr(1, 1) == {0, 3}
+        assert cell_expr(1, 2) == {1}
+        assert cell_expr(1, 3) == {2, 3}
+        # t2
+        assert cell_expr(2, 0) == {2, 3}
+        assert cell_expr(2, 1) == {2}
+        assert cell_expr(2, 2) == {0, 3}
+        assert cell_expr(2, 3) == {1, 2, 3}
+        # t3
+        assert cell_expr(3, 0) == {1, 2, 3}
+        assert cell_expr(3, 1) == {1}
+        assert cell_expr(3, 2) == {2}
+        assert cell_expr(3, 3) == {0, 1, 2}
+
+    def test_state_skip_relations_for_k2(self):
+        # The paper derives: c0(t+2) = c2 ^ c3, c1(t+2) = c2,
+        # c2(t+2) = c0 ^ c3, c3(t+2) = c1 ^ c2 ^ c3.
+        skip = state_skip_expressions(paper_example_matrix(), 2)
+        assert set(skip.row(0).support()) == {2, 3}
+        assert set(skip.row(1).support()) == {2}
+        assert set(skip.row(2).support()) == {0, 3}
+        assert set(skip.row(3).support()) == {1, 2, 3}
+
+    def test_skip_mode_halves_the_sequence(self):
+        # With initial state 1011 the skip-mode sequence visits every second
+        # state of the normal-mode sequence.
+        A = paper_example_matrix()
+        seed = bits("1011")
+        normal = expand_states(A, seed, 8)
+        skip = expand_states(state_skip_expressions(A, 2), seed, 4)
+        assert skip == normal[::2]
+
+
+class TestConstructors:
+    def test_fibonacci_structure(self):
+        poly = GF2Polynomial.from_exponents([4, 1, 0])  # x^4 + x + 1
+        A = fibonacci_transition_matrix(poly)
+        # Shift part: c_i(t+1) = c_{i+1}(t)
+        assert A.row(0).support() == [1]
+        assert A.row(1).support() == [2]
+        assert A.row(2).support() == [3]
+        # Feedback: taps at x^1 and x^0 -> cells 1 and 0
+        assert set(A.row(3).support()) == {0, 1}
+
+    def test_galois_structure(self):
+        poly = GF2Polynomial.from_exponents([4, 1, 0])
+        A = galois_transition_matrix(poly)
+        assert A.row(0).support() == [3]  # wrap-around
+        assert set(A.row(1).support()) == {0, 3}  # tap at x^1
+        assert A.row(2).support() == [1]
+        assert A.row(3).support() == [2]
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(ValueError):
+            fibonacci_transition_matrix(GF2Polynomial.from_exponents([1, 0]))
+
+    def test_rejects_missing_constant_term(self):
+        with pytest.raises(ValueError):
+            galois_transition_matrix(GF2Polynomial.from_exponents([4, 1]))
+
+    def test_both_forms_share_characteristic_order(self):
+        poly = primitive_polynomial(5)
+        fib = fibonacci_transition_matrix(poly)
+        gal = galois_transition_matrix(poly)
+        assert characteristic_order(fib) == characteristic_order(gal) == 31
+
+    def test_transition_matrices_are_invertible(self):
+        poly = primitive_polynomial(8)
+        assert fibonacci_transition_matrix(poly).is_invertible()
+        assert galois_transition_matrix(poly).is_invertible()
+
+
+class TestSymbolicAndSequences:
+    def test_symbolic_states_start_with_identity(self):
+        A = paper_example_matrix()
+        states = symbolic_states(A, 5)
+        assert states[0] == identity(4)
+        assert states[3] == A.power(3)
+        assert len(states) == 6
+
+    def test_symbolic_states_validation(self):
+        with pytest.raises(ValueError):
+            symbolic_states(paper_example_matrix(), -1)
+
+    def test_state_skip_expressions_k1_is_transition(self):
+        A = paper_example_matrix()
+        assert state_skip_expressions(A, 1) == A
+
+    def test_state_skip_expressions_rejects_k0(self):
+        with pytest.raises(ValueError):
+            state_skip_expressions(paper_example_matrix(), 0)
+
+    def test_output_sequence_matches_states(self):
+        A = fibonacci_transition_matrix(primitive_polynomial(4))
+        seed = bits("1000")
+        seq = output_sequence(A, seed, 10, cell=0)
+        states = expand_states(A, seed, 10)
+        assert seq == [s[0] for s in states]
+
+    def test_output_sequence_validation(self):
+        A = paper_example_matrix()
+        with pytest.raises(ValueError):
+            output_sequence(A, bits("10"), 4)
+        with pytest.raises(IndexError):
+            output_sequence(A, bits("1000"), 4, cell=7)
+
+    def test_expand_states_length_check(self):
+        with pytest.raises(ValueError):
+            expand_states(paper_example_matrix(), bits("10101"), 3)
+
+    def test_characteristic_order_of_primitive_polynomials(self):
+        for degree in (3, 4, 5, 6, 7):
+            A = fibonacci_transition_matrix(primitive_polynomial(degree))
+            assert characteristic_order(A) == (1 << degree) - 1
+
+    def test_characteristic_order_limit(self):
+        A = fibonacci_transition_matrix(primitive_polynomial(6))
+        with pytest.raises(ValueError):
+            characteristic_order(A, limit=5)
+
+
+# ----------------------------------------------------------------------
+# Property: the State Skip relations (equation (1)) hold for every i and
+# every seed -- k skip-steps equal one jump by A^k from any state.
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=10),
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=0, max_value=(1 << 10) - 1),
+)
+def test_state_skip_equivalence_property(degree, k, seed_value):
+    poly = primitive_polynomial(degree)
+    A = fibonacci_transition_matrix(poly)
+    seed = BitVector(degree, seed_value)
+    skip = state_skip_expressions(A, k)
+    direct = skip.mul_vector(seed)
+    stepped = seed
+    for _ in range(k):
+        stepped = A.mul_vector(stepped)
+    assert direct == stepped
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=3, max_value=9), st.integers(min_value=2, max_value=12))
+def test_skip_matrix_is_invertible(degree, k):
+    A = fibonacci_transition_matrix(primitive_polynomial(degree))
+    assert state_skip_expressions(A, k).is_invertible()

@@ -1,0 +1,137 @@
+"""Integration tests of the top-level pipeline, config and reporting."""
+
+import pytest
+
+import repro
+from repro.config import CompressionConfig
+from repro.pipeline import compress, compress_profile
+from repro.reporting import comparison_row, format_table, improvement_table
+from repro.testdata.profiles import custom_profile, get_profile
+from repro.testdata.synthetic import generate_test_set
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    return custom_profile(
+        "pipeline_unit",
+        scan_cells=80,
+        num_cubes=45,
+        max_specified=10,
+        mean_specified=4.5,
+        scan_chains=8,
+        lfsr_size=16,
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = CompressionConfig()
+        assert config.window_length == 200
+        assert config.segment_size == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(window_length=0)
+        with pytest.raises(ValueError):
+            CompressionConfig(segment_size=0)
+        with pytest.raises(ValueError):
+            CompressionConfig(segment_size=300, window_length=200)
+        with pytest.raises(ValueError):
+            CompressionConfig(speedup=0)
+        with pytest.raises(ValueError):
+            CompressionConfig(alignment="fuzzy")
+
+    def test_presets_and_updates(self):
+        soc = CompressionConfig.paper_soc()
+        assert (soc.window_length, soc.segment_size, soc.speedup) == (200, 10, 10)
+        fast = CompressionConfig.fast()
+        assert fast.window_length < soc.window_length
+        shrunk = soc.with_window(8)
+        assert shrunk.window_length == 8
+        assert shrunk.segment_size <= 8
+        updated = soc.with_updates(speedup=24)
+        assert updated.speedup == 24
+
+
+class TestPipeline:
+    def test_full_flow_with_simulation(self, small_profile):
+        test_set = generate_test_set(small_profile, seed=3)
+        config = CompressionConfig(
+            window_length=24,
+            segment_size=4,
+            speedup=6,
+            num_scan_chains=8,
+            lfsr_size=16,
+        )
+        report = compress(test_set, config, verify=True, simulate=True)
+        assert report.encoding_verified
+        assert report.simulation is not None
+        assert report.simulation.covers(test_set)
+        assert report.state_skip_tsl < report.window_tsl
+        assert report.test_data_volume == report.num_seeds * 16
+        assert 0 < report.improvement_percent < 100
+        assert report.hardware_total_ge > 0
+        summary = report.summary()
+        assert summary["circuit"] == "pipeline_unit"
+        assert summary["state_skip_tsl"] == report.state_skip_tsl
+        assert summary["simulated"] is True
+
+    def test_compress_profile_uses_profile_lfsr(self, small_profile):
+        report = compress_profile(
+            small_profile,
+            CompressionConfig(
+                window_length=16, segment_size=4, speedup=4, num_scan_chains=8
+            ),
+            seed=5,
+        )
+        assert report.encoding.lfsr_size == small_profile.lfsr_size
+
+    def test_compress_profile_scaled_iscas(self):
+        profile = get_profile("s13207")
+        config = CompressionConfig(
+            window_length=30, segment_size=5, speedup=8, num_scan_chains=32
+        )
+        report = compress_profile(profile, config, scale=0.05, seed=2)
+        assert report.encoding.lfsr_size == profile.lfsr_size
+        assert report.encoding.all_cubes_encoded()
+        assert report.state_skip_tsl <= report.window_tsl
+
+    def test_lazy_top_level_exports(self):
+        assert repro.compress is compress
+        assert repro.CompressionConfig is CompressionConfig
+        assert repro.CompressionReport is not None
+        with pytest.raises(AttributeError):
+            _ = repro.does_not_exist
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [
+            {"circuit": "s13207", "tdv": 3816, "tsl": 1756.0},
+            {"circuit": "s9234", "tdv": None, "tsl": 2163},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "circuit" in lines[1]
+        assert lines[4].split()[1] == "-"  # None rendered as '-'
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([], title="empty") == "empty\n"
+        assert format_table([]) == ""
+
+    def test_comparison_row(self):
+        row = comparison_row(
+            "s9234", {"tdv": 7000, "tsl": 2100}, {"tdv": 6864, "tsl": 2163},
+            keys=["tdv", "tsl"],
+        )
+        assert row["tdv"] == 7000
+        assert row["tdv_paper"] == 6864
+        assert row["circuit"] == "s9234"
+
+    def test_improvement_table(self):
+        text = improvement_table("s13207", {3: {4: 70.0, 10: 69.0}, 24: {4: 93.0}})
+        assert "s13207" in text
+        assert "S=4" in text
+        assert "93.0" in text
