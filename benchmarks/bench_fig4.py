@@ -10,14 +10,26 @@ Expected shape: the improvement increases with k and with L, and decreases
 with S; the paper reports 69-78% at k=3 rising to 80-93% at k=24 for the
 full-size test set (scaled test sets shift the absolute level but keep the
 ordering).
+
+Both sweeps run on the campaign subsystem (:mod:`repro.campaign`): every
+(L, S, k) point is one job on a multiprocessing worker pool, and results
+persist in a content-addressed store under ``results/campaign/`` -- so a
+repeated benchmark run resumes from the store instead of recomputing.
+``REPRO_CAMPAIGN_JOBS`` overrides the pool size (default 2).
 """
+
+import os
 
 import pytest
 
+from repro.campaign.report import improvement_grids
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, TestSource
+from repro.campaign.store import ResultStore
+from repro.config import CompressionConfig
 from repro.reporting import improvement_table
-from repro.testdata.literature import tsl_improvement
 
-from conftest import full_runs_enabled, publish
+from conftest import RESULTS_DIR, bench_scale, full_runs_enabled, publish
 
 CIRCUIT = "s13207"
 SPEEDUPS = [3, 6, 12, 24]
@@ -25,29 +37,49 @@ BAR_SEGMENTS = [4, 10, 12, 20]
 CURVE_WINDOWS = [50, 100, 300]
 
 
-def _bars(workbench):
-    sweep = {}
-    for k in SPEEDUPS:
-        sweep[k] = {}
-        for segment_size in BAR_SEGMENTS:
-            reduction = workbench.reduce(CIRCUIT, 300, segment_size, k)
-            sweep[k][segment_size] = round(reduction.improvement_percent, 1)
-    return sweep
+def _campaign_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_CAMPAIGN_JOBS", "2")))
 
 
-def _curves(workbench):
+def _run_campaign(name: str, base: CompressionConfig, axes):
+    """Run one Fig. 4 sweep as a campaign and return its improvement grid."""
+    spec = CampaignSpec(
+        name=name,
+        sources=(TestSource(profile=CIRCUIT, scale=bench_scale(CIRCUIT)),),
+        base=base,
+        axes=axes,
+        verify=False,  # the workbench path never re-verified either
+    )
+    store = ResultStore(RESULTS_DIR / "campaign" / name)
+    result = CampaignRunner(spec, store, jobs=_campaign_jobs()).run()
+    assert result.num_failed == 0, [
+        (outcome.job.job_id, outcome.error) for outcome in result.failures()
+    ]
+    row_axis, col_axis = list(axes)
+    grids = improvement_grids(result.rows(), row_axis=row_axis, col_axis=col_axis)
+    (grid,) = grids.values()
+    return grid
+
+
+def _bars():
+    return _run_campaign(
+        "fig4-bars",
+        base=CompressionConfig(window_length=300),
+        axes={"speedup": SPEEDUPS, "segment_size": BAR_SEGMENTS},
+    )
+
+
+def _curves():
     windows = CURVE_WINDOWS + ([500] if full_runs_enabled() else [])
-    sweep = {}
-    for k in SPEEDUPS:
-        sweep[k] = {}
-        for window in windows:
-            reduction = workbench.reduce(CIRCUIT, window, 5, k)
-            sweep[k][window] = round(reduction.improvement_percent, 1)
-    return sweep
+    return _run_campaign(
+        "fig4-curves",
+        base=CompressionConfig(segment_size=5),
+        axes={"speedup": SPEEDUPS, "window_length": windows},
+    )
 
 
-def test_fig4_bars_segment_size_sweep(benchmark, workbench):
-    sweep = benchmark.pedantic(_bars, args=(workbench,), rounds=1, iterations=1)
+def test_fig4_bars_segment_size_sweep(benchmark):
+    sweep = benchmark.pedantic(_bars, rounds=1, iterations=1)
     publish(
         "fig4_bars",
         improvement_table(
@@ -64,8 +96,8 @@ def test_fig4_bars_segment_size_sweep(benchmark, workbench):
     assert sweep[24][4] > 50.0
 
 
-def test_fig4_curves_window_sweep(benchmark, workbench):
-    sweep = benchmark.pedantic(_curves, args=(workbench,), rounds=1, iterations=1)
+def test_fig4_curves_window_sweep(benchmark):
+    sweep = benchmark.pedantic(_curves, rounds=1, iterations=1)
     publish(
         "fig4_curves",
         improvement_table(

@@ -1,26 +1,28 @@
 """Design-space sweep: how k, S and L shape the test sequence length.
 
-This is the Fig. 4 study of the paper in miniature: for one core the script
-encodes the test set once per window size and then sweeps the State Skip
-speedup ``k`` and the segment size ``S`` of the reduction, printing the TSL
-improvement grid.  Because the reduction is a cheap post-processing step, the
-whole sweep re-uses each encoding.
+This is the Fig. 4 study of the paper in miniature, run on the campaign
+subsystem: the (S, k) grid for one core is expanded into jobs, executed on
+a multiprocessing worker pool, and every result lands in a content-addressed
+store -- so re-running the script (or widening the grid) only computes the
+points it has not seen before.
 
 Run with::
 
-    python examples/sweep_study.py            # default: scaled s13207
-    python examples/sweep_study.py --circuit s9234 --scale 0.1
+    python examples/sweep_study.py                      # default: scaled s13207
+    python examples/sweep_study.py --circuit s9234 --scale 0.1 --jobs 4
+    python examples/sweep_study.py --store /tmp/sweep   # persistent resume
 """
 
 import argparse
+import tempfile
 
+from repro.campaign.report import best_config_table, improvement_grids
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, TestSource
+from repro.campaign.store import ResultStore
 from repro.config import CompressionConfig
-from repro.encoding.encoder import ReseedingEncoder
 from repro.reporting import improvement_table
-from repro.skip.reduction import reduce_sequence
-from repro.testdata.literature import tsl_improvement
-from repro.testdata.profiles import get_profile, profile_names
-from repro.testdata.synthetic import generate_test_set
+from repro.testdata.profiles import profile_names
 
 
 def main() -> None:
@@ -30,42 +32,40 @@ def main() -> None:
     parser.add_argument("--window", type=int, default=100)
     parser.add_argument("--speedups", type=int, nargs="*", default=[3, 6, 12, 24])
     parser.add_argument("--segments", type=int, nargs="*", default=[4, 10, 20])
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--store", default=None,
+                        help="result-store directory (default: throwaway)")
     args = parser.parse_args()
 
-    profile = get_profile(args.circuit)
-    test_set = generate_test_set(profile, seed=1, scale=args.scale)
+    spec = CampaignSpec(
+        name="sweep-study",
+        sources=(TestSource(profile=args.circuit, scale=args.scale),),
+        base=CompressionConfig(window_length=args.window),
+        axes={"speedup": args.speedups, "segment_size": args.segments},
+        filter="segment_size <= window_length",
+    )
+    jobs = spec.jobs()
     print(
-        f"{args.circuit}: {len(test_set)} cubes (scaled x{args.scale}), "
-        f"LFSR {profile.lfsr_size}, window L={args.window}"
+        f"{args.circuit}: sweeping {len(jobs)} (k, S) points at L={args.window} "
+        f"on {args.jobs} worker(s)"
     )
 
-    encoder = ReseedingEncoder(
-        num_cells=profile.scan_cells,
-        num_scan_chains=profile.scan_chains,
-        lfsr_size=profile.lfsr_size,
-        window_length=args.window,
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-sweep-")
+    store = ResultStore(store_dir)
+    result = CampaignRunner(spec, store, jobs=args.jobs).run(
+        progress=lambda outcome: print(
+            f"  [{outcome.status:>7}] {outcome.job.job_id}"
+        )
     )
-    encoding = encoder.encode(test_set)
     print(
-        f"encoded into {encoding.num_seeds} seeds "
-        f"(TDV {encoding.test_data_volume} bits, "
-        f"window TSL {encoding.test_sequence_length} vectors)\n"
+        f"\n{result.num_computed} computed, {result.num_cached} cached "
+        f"(store: {store.path})\n"
     )
 
-    sweep = {}
-    for k in args.speedups:
-        sweep[k] = {}
-        for segment_size in args.segments:
-            reduction = reduce_sequence(
-                encoding, test_set, encoder.equations, segment_size, k
-            )
-            sweep[k][segment_size] = round(
-                tsl_improvement(
-                    reduction.test_sequence_length, encoding.test_sequence_length
-                ),
-                1,
-            )
-    print(improvement_table(args.circuit, sweep))
+    grids = improvement_grids(result.rows())
+    for circuit, grid in grids.items():
+        print(improvement_table(circuit, grid))
+    print(best_config_table(result.rows()))
     print(
         "Reading the grid: improvement grows with the speedup factor k and "
         "with finer segmentation (smaller S), exactly the Fig. 4 trend."

@@ -33,16 +33,31 @@ Sub-packages
 ``repro.decompressor``
     The on-chip decompression architecture (Section 3.3) and its
     gate-equivalent cost model.
+``repro.campaign``
+    Campaign orchestration: declarative experiment grids executed on a
+    multiprocessing worker pool against a persistent, content-addressed
+    result store (resume for free).
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["CompressionConfig", "CompressionReport", "compress", "__version__"]
+__all__ = [
+    "CampaignRunner",
+    "CampaignSpec",
+    "CompressionConfig",
+    "CompressionReport",
+    "ResultStore",
+    "compress",
+    "__version__",
+]
 
 _LAZY_EXPORTS = {
     "CompressionConfig": ("repro.config", "CompressionConfig"),
     "CompressionReport": ("repro.pipeline", "CompressionReport"),
     "compress": ("repro.pipeline", "compress"),
+    "CampaignSpec": ("repro.campaign.spec", "CampaignSpec"),
+    "CampaignRunner": ("repro.campaign.runner", "CampaignRunner"),
+    "ResultStore": ("repro.campaign.store", "ResultStore"),
 }
 
 

@@ -1,0 +1,49 @@
+"""Campaign orchestration: declarative sweeps, parallel execution, resume.
+
+Every paper artifact (Tables 1-4, Fig. 4, the ablations) is a *grid* of
+compression runs over circuits x (L, S, k) configurations.  This package
+turns the single-shot :func:`repro.pipeline.compress` into an experiment
+engine for such grids:
+
+:mod:`repro.campaign.spec`
+    :class:`CampaignSpec` -- a declarative cartesian grid over test-set
+    sources and :class:`~repro.config.CompressionConfig` axes, loadable
+    from TOML/JSON.
+
+:mod:`repro.campaign.runner`
+    :class:`CampaignRunner` -- a multiprocessing worker pool with per-job
+    timeout, error capture and deterministic job ordering.
+
+:mod:`repro.campaign.store`
+    :class:`ResultStore` -- a content-addressed JSON-lines store keyed by
+    ``(test-set fingerprint, config cache key)``; re-running a campaign
+    against the same store skips completed jobs, so resume is free.
+
+:mod:`repro.campaign.report`
+    Aggregation of stored summaries into Fig. 4-style improvement grids
+    and best-config-per-circuit tables.
+"""
+
+from repro.campaign.report import (
+    best_config_rows,
+    campaign_report,
+    improvement_grids,
+)
+from repro.campaign.runner import CampaignResult, CampaignRunner, JobOutcome
+from repro.campaign.spec import CampaignSpec, JobSpec, TestSource
+from repro.campaign.store import ResultStore, StoredResult, result_key
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "TestSource",
+    "CampaignRunner",
+    "CampaignResult",
+    "JobOutcome",
+    "ResultStore",
+    "StoredResult",
+    "result_key",
+    "best_config_rows",
+    "campaign_report",
+    "improvement_grids",
+]

@@ -1,0 +1,111 @@
+"""Aggregation of stored campaign results into paper-style tables.
+
+Works on plain summary rows (the :meth:`CompressionReport.summary` dicts
+persisted by the store), so it can render a report from a live
+:class:`~repro.campaign.runner.CampaignResult` or from a store directory
+written weeks ago, without re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.reporting import format_table, improvement_table, pivot_rows
+
+SummaryRow = Dict[str, object]
+
+
+def _by_circuit(rows: Iterable[SummaryRow]) -> Dict[str, List[SummaryRow]]:
+    grouped: Dict[str, List[SummaryRow]] = {}
+    for row in rows:
+        grouped.setdefault(str(row["circuit"]), []).append(row)
+    return grouped
+
+
+def improvement_grids(
+    rows: Iterable[SummaryRow],
+    row_axis: str = "speedup",
+    col_axis: str = "segment_size",
+    value: str = "improvement_pct",
+) -> Dict[str, Dict[object, Dict[object, object]]]:
+    """Pivot summary rows into one Fig. 4-style grid per circuit.
+
+    When several rows land on the same grid cell (e.g. a campaign that also
+    swept an axis not shown here), the best improvement wins, matching how
+    the paper reports its best configuration per point.
+    """
+    grids: Dict[str, Dict[object, Dict[object, object]]] = {}
+    for circuit, circuit_rows in _by_circuit(rows).items():
+        grid = pivot_rows(circuit_rows, row_axis, col_axis, value, reduce="max")
+        if grid:
+            grids[circuit] = grid
+    return grids
+
+
+def best_config_rows(
+    rows: Iterable[SummaryRow],
+    metric: str = "state_skip_tsl",
+    minimize: bool = True,
+) -> List[SummaryRow]:
+    """The best row per circuit (shortest test sequence by default)."""
+    best: List[SummaryRow] = []
+    for circuit, circuit_rows in sorted(_by_circuit(rows).items()):
+        scored = [row for row in circuit_rows if row.get(metric) is not None]
+        if not scored:
+            continue
+        pick = min(scored, key=lambda row: row[metric])
+        if not minimize:
+            pick = max(scored, key=lambda row: row[metric])
+        best.append(pick)
+    return best
+
+
+def best_config_table(
+    rows: Iterable[SummaryRow],
+    metric: str = "state_skip_tsl",
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the best configuration per circuit as an aligned table."""
+    best = best_config_rows(rows, metric=metric)
+    if columns is None:
+        columns = [
+            "circuit",
+            "window_length",
+            "segment_size",
+            "speedup",
+            "num_seeds",
+            "tdv_bits",
+            "window_tsl",
+            "state_skip_tsl",
+            "improvement_pct",
+            "hardware_ge",
+        ]
+    return format_table(
+        best, columns=columns, title=f"Best configuration per circuit (min {metric})"
+    )
+
+
+def campaign_report(
+    rows: Iterable[SummaryRow],
+    title: str = "campaign",
+    row_axis: str = "speedup",
+    col_axis: str = "segment_size",
+) -> str:
+    """Full text report: one improvement grid per circuit plus the best table."""
+    rows = list(rows)
+    if not rows:
+        return f"campaign {title}: no successful results\n"
+    labels = {"speedup": "k", "segment_size": "S", "window_length": "L"}
+    sections: List[str] = []
+    grids = improvement_grids(rows, row_axis=row_axis, col_axis=col_axis)
+    for circuit, grid in sorted(grids.items()):
+        sections.append(
+            improvement_table(
+                f"{circuit} ({title})",
+                grid,
+                row_label=labels.get(row_axis, row_axis),
+                column_label=labels.get(col_axis, col_axis),
+            )
+        )
+    sections.append(best_config_table(rows))
+    return "\n".join(sections)

@@ -1,0 +1,312 @@
+"""Parallel campaign execution with resume.
+
+The :class:`CampaignRunner` expands a :class:`~repro.campaign.spec.CampaignSpec`
+into jobs, skips every job whose result key already has a successful record
+in the :class:`~repro.campaign.store.ResultStore` (resume), and executes the
+rest -- inline for ``jobs=1``, on a ``multiprocessing`` pool otherwise.
+
+Design notes
+------------
+* Each *source* (profile or cube file) is materialised exactly once in the
+  parent process; workers receive the serialised cube text, so synthetic
+  generation is never repeated per job and file sources need no re-read.
+* Jobs are submitted and collected in deterministic spec order; the store
+  is appended only by the parent, so no file locking is needed.
+* Per-job failures are captured as records (status ``error``) instead of
+  aborting the campaign; a timed-out job is reported (status ``timeout``)
+  and the pool is terminated at the end so stragglers cannot outlive the
+  campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec, JobSpec, TestSource
+from repro.campaign.store import (
+    STATUS_ERROR,
+    STATUS_OK,
+    ResultStore,
+    StoredResult,
+    result_key,
+)
+from repro.config import CompressionConfig
+from repro.pipeline import compress
+from repro.testdata.test_set import TestSet
+
+#: Extra outcome states of a single campaign run (never persisted).
+STATUS_CACHED = "cached"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job during :meth:`CampaignRunner.run`."""
+
+    job: JobSpec
+    key: str
+    status: str
+    summary: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_CACHED)
+
+    @property
+    def cached(self) -> bool:
+        return self.status == STATUS_CACHED
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one runner invocation."""
+
+    campaign: str
+    outcomes: List[JobOutcome]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def num_computed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == STATUS_OK)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def all_cached(self) -> bool:
+        """True when the run recomputed nothing (a fully warm store)."""
+        return self.num_jobs > 0 and self.num_cached == self.num_jobs
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Summary rows of every successful outcome, in job order."""
+        return [
+            dict(outcome.summary)
+            for outcome in self.outcomes
+            if outcome.ok and outcome.summary is not None
+        ]
+
+    def failures(self) -> List[JobOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+
+def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one job in a worker process.  Never raises: errors are captured."""
+    start = time.perf_counter()
+    try:
+        test_set = TestSet.from_text(
+            payload["test_text"], name=payload["circuit"]
+        )
+        config = CompressionConfig.from_dict(payload["config"])
+        report = compress(test_set, config, verify=payload["verify"])
+        return {
+            "job_id": payload["job_id"],
+            "status": STATUS_OK,
+            "summary": report.summary(),
+            "error": None,
+            "elapsed_s": time.perf_counter() - start,
+        }
+    except Exception:
+        return {
+            "job_id": payload["job_id"],
+            "status": STATUS_ERROR,
+            "summary": None,
+            "error": traceback.format_exc(limit=8),
+            "elapsed_s": time.perf_counter() - start,
+        }
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (Windows, some macOS setups)
+        return multiprocessing.get_context("spawn")
+
+
+class CampaignRunner:
+    """Execute a campaign spec against a result store.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid to run.
+    store:
+        Result store used both for resume (skip completed keys) and for
+        persisting new outcomes.
+    jobs:
+        Worker-pool size; ``1`` runs everything inline in-process.
+    timeout:
+        Per-job wait bound in seconds (``None`` disables).  A job that
+        exceeds it is reported with status ``timeout`` and not stored, so a
+        later run retries it.
+    resume:
+        When True (default), jobs whose key already has a successful stored
+        record are returned as cache hits without recomputation.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        resume: bool = True,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self._spec = spec
+        self._store = store
+        self._jobs = jobs
+        self._timeout = timeout
+        self._resume = resume
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, progress: Optional[Callable[[JobOutcome], None]] = None
+    ) -> CampaignResult:
+        """Run every job of the spec; returns outcomes in spec order.
+
+        Completed results are appended to the store (and reported through
+        ``progress``) as soon as each job finishes, so an interrupted
+        campaign keeps everything computed so far and the next resumed run
+        picks up where it stopped.
+        """
+        job_specs = self._spec.jobs()
+        resolved = self._resolve_sources(job_specs)
+        prepared: List[Tuple[int, JobSpec, str, Dict[str, object]]] = []
+        outcomes: List[Optional[JobOutcome]] = [None] * len(job_specs)
+
+        for index, job in enumerate(job_specs):
+            test_text, fingerprint, lfsr_default = resolved[job.source]
+            config = job.config
+            if config.lfsr_size is None and lfsr_default is not None:
+                config = config.with_updates(lfsr_size=lfsr_default)
+            key = result_key(fingerprint, config)
+            if self._resume and self._store.completed(key):
+                record = self._store.get(key)
+                outcome = JobOutcome(
+                    job=job,
+                    key=key,
+                    status=STATUS_CACHED,
+                    summary=record.summary,
+                    elapsed_s=0.0,
+                )
+                outcomes[index] = outcome
+                if progress is not None:
+                    progress(outcome)
+                continue
+            payload = {
+                "job_id": job.job_id,
+                "circuit": job.source.label,
+                "test_text": test_text,
+                "fingerprint": fingerprint,
+                "config": config.to_dict(),
+                "verify": self._spec.verify,
+            }
+            prepared.append((index, job, key, payload))
+
+        def finish(index, job, key, payload, result) -> None:
+            outcome = JobOutcome(
+                job=job,
+                key=key,
+                status=result["status"],
+                summary=result["summary"],
+                error=result["error"],
+                elapsed_s=result["elapsed_s"],
+            )
+            outcomes[index] = outcome
+            if outcome.status in (STATUS_OK, STATUS_ERROR):
+                self._store.put(
+                    StoredResult(
+                        key=key,
+                        job_id=job.job_id,
+                        circuit=job.source.label,
+                        fingerprint=payload["fingerprint"],
+                        config=payload["config"],
+                        status=outcome.status,
+                        summary=outcome.summary,
+                        error=outcome.error,
+                        elapsed_s=outcome.elapsed_s,
+                    )
+                )
+            if progress is not None:
+                progress(outcome)
+
+        if prepared:
+            if self._jobs == 1:
+                for index, job, key, payload in prepared:
+                    finish(index, job, key, payload, _execute_payload(payload))
+            else:
+                self._run_pool(prepared, finish)
+        return CampaignResult(campaign=self._spec.name, outcomes=outcomes)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_sources(
+        self, job_specs: List[JobSpec]
+    ) -> Dict[TestSource, Tuple[str, str, Optional[int]]]:
+        """Materialise each distinct source once: (text, fingerprint, lfsr)."""
+        resolved: Dict[TestSource, Tuple[str, str, Optional[int]]] = {}
+        for job in job_specs:
+            if job.source in resolved:
+                continue
+            test_set, lfsr_default = job.source.resolve()
+            resolved[job.source] = (
+                test_set.to_text(),
+                test_set.fingerprint(),
+                lfsr_default,
+            )
+        return resolved
+
+    def _run_pool(
+        self,
+        prepared: List[Tuple[int, JobSpec, str, Dict[str, object]]],
+        finish: Callable[..., None],
+    ) -> None:
+        """Submit every payload and hand results to ``finish`` as they land."""
+        context = _pool_context()
+        pool = context.Pool(processes=min(self._jobs, len(prepared)))
+        timed_out = False
+        try:
+            handles = [
+                pool.apply_async(_execute_payload, (payload,))
+                for _, _, _, payload in prepared
+            ]
+            for (index, job, key, payload), handle in zip(prepared, handles):
+                try:
+                    result = handle.get(timeout=self._timeout)
+                except multiprocessing.TimeoutError:
+                    timed_out = True
+                    result = {
+                        "job_id": job.job_id,
+                        "status": STATUS_TIMEOUT,
+                        "summary": None,
+                        "error": (
+                            f"job exceeded the per-job timeout of "
+                            f"{self._timeout:.1f}s"
+                        ),
+                        "elapsed_s": self._timeout,
+                    }
+                finish(index, job, key, payload, result)
+        finally:
+            if timed_out:
+                pool.terminate()  # don't let stragglers outlive the campaign
+            else:
+                pool.close()
+            pool.join()

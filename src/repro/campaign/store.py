@@ -1,0 +1,156 @@
+"""Content-addressed JSON-lines result store.
+
+Every campaign job is identified by a *result key*: a stable hash of the
+test-set fingerprint (:meth:`repro.testdata.test_set.TestSet.fingerprint`)
+and the config cache key (:meth:`repro.config.CompressionConfig.cache_key`).
+The store is an append-only ``results.jsonl`` file inside a store directory;
+each line is one :class:`StoredResult` record.  Loading builds an in-memory
+index keyed by result key with last-record-wins semantics, so re-running a
+job simply supersedes the old record.
+
+Because the key depends only on *content* (which cubes, which knobs), not on
+job names or spec files, any two campaigns that touch the same
+(test set, config) point share the cached result -- resume is free and so is
+cross-campaign deduplication.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.config import CompressionConfig
+
+RESULTS_FILENAME = "results.jsonl"
+
+#: Status of a stored record.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def result_key(fingerprint: str, config: CompressionConfig) -> str:
+    """Stable content hash identifying one (test set, config) run."""
+    payload = f"{fingerprint}:{config.cache_key()}"
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:20]
+
+
+@dataclass
+class StoredResult:
+    """One persisted job outcome."""
+
+    key: str
+    job_id: str
+    circuit: str
+    fingerprint: str
+    config: Dict[str, object]
+    status: str
+    summary: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StoredResult":
+        return cls(
+            key=data["key"],
+            job_id=data["job_id"],
+            circuit=data["circuit"],
+            fingerprint=data["fingerprint"],
+            config=dict(data["config"]),
+            status=data["status"],
+            summary=data.get("summary"),
+            error=data.get("error"),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+class ResultStore:
+    """Append-only, content-addressed store of campaign results."""
+
+    def __init__(self, root: "str | Path"):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._path = self._root / RESULTS_FILENAME
+        self._index: Dict[str, StoredResult] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __iter__(self) -> Iterator[StoredResult]:
+        return iter(self._index.values())
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        return self._index.get(key)
+
+    def completed(self, key: str) -> bool:
+        """True when the key has a successful (resumable) record."""
+        record = self._index.get(key)
+        return record is not None and record.ok
+
+    def records(self) -> List[StoredResult]:
+        """All current records (one per key, insertion order)."""
+        return list(self._index.values())
+
+    def rows(self) -> List[Dict[str, object]]:
+        """The summary rows of every successful record."""
+        return [
+            dict(record.summary)
+            for record in self._index.values()
+            if record.ok and record.summary is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def put(self, record: StoredResult) -> None:
+        """Append one record and update the index (last record wins)."""
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+        self._index[record.key] = record
+
+    def reload(self) -> None:
+        """Re-read the store file (e.g. after another process appended)."""
+        self._index = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = StoredResult.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError) as error:
+                    raise ValueError(
+                        f"corrupt result store {self._path} at line "
+                        f"{line_number}: {error}"
+                    ) from error
+                self._index[record.key] = record

@@ -1,6 +1,6 @@
 """Command-line interface of the State Skip LFSR flow.
 
-Three sub-commands cover the day-to-day uses of the library without writing
+Four sub-commands cover the day-to-day uses of the library without writing
 Python:
 
 ``compress``
@@ -9,7 +9,13 @@ Python:
 
 ``sweep``
     Sweep the speedup factor ``k`` and segment size ``S`` for one test set
-    and print the Fig. 4-style TSL-improvement grid.
+    and print the Fig. 4-style TSL-improvement grid (single process, one
+    encoding reused across the grid).
+
+``campaign``
+    Run a full experiment grid -- many circuits x (L, S, k) configs -- on a
+    multiprocessing worker pool with a persistent, content-addressed result
+    store.  Re-running with ``--resume`` skips every already-completed job.
 
 ``atpg``
     Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
@@ -22,6 +28,10 @@ Examples
     python -m repro compress --profile s13207 --scale 0.1 -L 100 -S 10 -k 12
     python -m repro compress --tests my_core.tests --chains 16 -L 60 -k 8
     python -m repro sweep --profile s9234 --scale 0.1 -L 100
+    python -m repro campaign --profiles s13207 s9234 --scale 0.1 \\
+        --windows 50 100 --segments 4 10 --speedups 3 6 12 24 \\
+        --jobs 4 --store results/campaign --resume --report
+    python -m repro campaign --spec fig4.toml --jobs 8 --resume
     python -m repro atpg --bench my_core.bench --output my_core.tests
 """
 
@@ -143,6 +153,80 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_campaign_spec(args: argparse.Namespace):
+    from repro.campaign.spec import CampaignSpec, TestSource
+
+    if args.spec:
+        return CampaignSpec.from_file(args.spec)
+    sources = []
+    for profile in args.profiles or []:
+        sources.append(TestSource(profile=profile, scale=args.scale, seed=args.seed))
+    for tests in args.tests or []:
+        sources.append(TestSource(tests=tests))
+    if not sources:
+        raise SystemExit("either --spec, --profiles or --tests is required")
+    axes = {}
+    if args.windows:
+        axes["window_length"] = args.windows
+    if args.segments:
+        axes["segment_size"] = args.segments
+    if args.speedups:
+        axes["speedup"] = args.speedups
+    return CampaignSpec(
+        name=args.name,
+        sources=tuple(sources),
+        base=CompressionConfig(num_scan_chains=args.chains),
+        axes=axes,
+        filter="segment_size <= window_length",
+        verify=not args.no_verify,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.report import campaign_report
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.store import ResultStore
+
+    try:
+        spec = _build_campaign_spec(args)
+        store = ResultStore(args.store)
+        runner = CampaignRunner(
+            spec,
+            store,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            resume=args.resume,
+        )
+    except (OSError, ValueError, RuntimeError, KeyError) as error:
+        raise SystemExit(f"campaign setup failed: {error}")
+
+    def progress(outcome):
+        line = f"[{outcome.status:>7}] {outcome.job.job_id}"
+        if outcome.status == "ok":
+            line += f"  ({outcome.elapsed_s:.2f}s)"
+        elif not outcome.ok and outcome.error:
+            line += f"  {outcome.error.splitlines()[-1]}"
+        print(line)
+
+    try:
+        result = runner.run(progress=progress)
+    except (OSError, ValueError) as error:
+        # parent-side failures (unreadable/malformed source files, spec
+        # expansion) -- per-job errors are captured in the outcomes instead
+        raise SystemExit(f"campaign failed: {error}")
+    print(
+        f"\ncampaign {result.campaign}: {result.num_jobs} jobs -- "
+        f"{result.num_computed} computed, {result.num_cached} cached, "
+        f"{result.num_failed} failed (store: {store.path})"
+    )
+    if args.report:
+        # report this run's jobs only -- a shared store directory may hold
+        # results of other campaigns
+        print()
+        print(campaign_report(result.rows(), title=result.campaign))
+    return 1 if result.num_failed else 0
+
+
 def _cmd_atpg(args: argparse.Namespace) -> int:
     from repro.circuits.atpg import generate_test_set_for_netlist
     from repro.circuits.bench import parse_bench
@@ -190,6 +274,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--segments", type=int, nargs="*", default=[4, 10, 20])
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run an experiment grid on a worker pool with a result store",
+    )
+    campaign_parser.add_argument(
+        "--spec", help="campaign spec file (.toml or .json); overrides grid flags"
+    )
+    grid = campaign_parser.add_argument_group("inline grid (no --spec)")
+    grid.add_argument("--name", default="campaign", help="campaign name")
+    grid.add_argument(
+        "--profiles", nargs="*", choices=profile_names(),
+        help="benchmark profiles to sweep",
+    )
+    grid.add_argument(
+        "--tests", nargs="*", help="paths to 0/1/X cube files to sweep"
+    )
+    grid.add_argument("--scale", type=float, default=0.1,
+                      help="cube-count scale for profile sources (default 0.1)")
+    grid.add_argument("--seed", type=int, default=1, help="generator RNG seed")
+    grid.add_argument("--windows", type=int, nargs="*", default=[100],
+                      help="window lengths L to sweep")
+    grid.add_argument("--segments", type=int, nargs="*", default=[4, 10],
+                      help="segment sizes S to sweep")
+    grid.add_argument("--speedups", type=int, nargs="*", default=[3, 6, 12, 24],
+                      help="State Skip speedups k to sweep")
+    grid.add_argument("--chains", type=int, default=32, help="number of scan chains")
+    grid.add_argument("--no-verify", action="store_true",
+                      help="skip per-job encoding verification")
+    execution = campaign_parser.add_argument_group("execution")
+    execution.add_argument("--store", default="results/campaign",
+                           help="result-store directory (default results/campaign)")
+    execution.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (default 1: run inline)")
+    execution.add_argument("--timeout", type=float, default=None,
+                           help="per-job timeout in seconds")
+    execution.add_argument("--resume", action="store_true",
+                           help="skip jobs already completed in the store")
+    execution.add_argument("--report", action="store_true",
+                           help="print the aggregated improvement grids")
+    campaign_parser.set_defaults(func=_cmd_campaign)
 
     atpg_parser = sub.add_parser("atpg", help="run PODEM ATPG on a netlist")
     atpg_parser.add_argument("--bench", help="path to a .bench netlist")

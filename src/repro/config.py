@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -95,3 +97,30 @@ class CompressionConfig:
     def with_updates(self, **changes) -> "CompressionConfig":
         """Copy with arbitrary field changes (validated by the constructor)."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation / content addressing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """All knobs as a JSON-safe dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CompressionConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored so stored campaign records stay loadable
+        when the config grows new fields.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def cache_key(self) -> str:
+        """Stable content hash of the configuration.
+
+        Computed over the canonical JSON of :meth:`to_dict`, so it is
+        identical across processes and interpreter runs (unlike ``hash()``)
+        and changes whenever any knob changes.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:16]

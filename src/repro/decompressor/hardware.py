@@ -81,6 +81,32 @@ class HardwareReport:
             "total": self.total,
         }
 
+    # ------------------------------------------------------------------
+    # Serialisation (campaign result store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, float]:
+        """The six component costs as a JSON-safe dictionary."""
+        return {
+            "lfsr": self.lfsr,
+            "state_skip": self.state_skip,
+            "phase_shifter": self.phase_shifter,
+            "counters": self.counters,
+            "control": self.control,
+            "mode_select": self.mode_select,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "HardwareReport":
+        """Rebuild a report from :meth:`to_dict` output (``total`` ignored)."""
+        return cls(
+            lfsr=data["lfsr"],
+            state_skip=data["state_skip"],
+            phase_shifter=data["phase_shifter"],
+            counters=data["counters"],
+            control=data["control"],
+            mode_select=data["mode_select"],
+        )
+
 
 def lfsr_cost(transition: GF2Matrix, model: GateCostModel) -> float:
     """Registers plus feedback XOR network of the normal LFSR.

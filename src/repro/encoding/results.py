@@ -132,3 +132,56 @@ class EncodingResult:
                 sum(per_seed) / len(per_seed) if per_seed else 0.0
             ),
         }
+
+    # ------------------------------------------------------------------
+    # Serialisation (campaign result store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-safe serialisation (seeds as bit strings)."""
+        return {
+            "circuit": self.circuit,
+            "lfsr_size": self.lfsr_size,
+            "window_length": self.window_length,
+            "num_scan_chains": self.num_scan_chains,
+            "chain_length": self.chain_length,
+            "num_cubes": self.num_cubes,
+            "seeds": [
+                {
+                    "index": record.index,
+                    "seed": record.seed.to_string(),
+                    "embeddings": [
+                        [e.cube_index, e.position, e.deterministic]
+                        for e in record.embeddings
+                    ],
+                }
+                for record in self.seeds
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EncodingResult":
+        """Rebuild an equivalent result from :meth:`to_dict` output."""
+        seeds = [
+            SeedRecord(
+                index=entry["index"],
+                seed=BitVector.from_string(entry["seed"]),
+                embeddings=[
+                    CubeEmbedding(
+                        cube_index=cube_index,
+                        position=position,
+                        deterministic=bool(deterministic),
+                    )
+                    for cube_index, position, deterministic in entry["embeddings"]
+                ],
+            )
+            for entry in data["seeds"]
+        ]
+        return cls(
+            circuit=data["circuit"],
+            lfsr_size=data["lfsr_size"],
+            window_length=data["window_length"],
+            num_scan_chains=data["num_scan_chains"],
+            chain_length=data["chain_length"],
+            seeds=seeds,
+            num_cubes=data["num_cubes"],
+        )

@@ -98,6 +98,75 @@ class CompressionReport:
             "simulated": self.simulation is not None,
         }
 
+    # ------------------------------------------------------------------
+    # Serialisation (campaign result store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe serialisation of the whole report.
+
+        Nests the :meth:`to_dict` forms of the config, encoding, reduction
+        and hardware results plus the flat :meth:`summary` row, so stored
+        campaign records can be reloaded either as typed objects
+        (:meth:`from_dict`) or consumed as plain rows by the reporting
+        helpers.  The clock-level simulation trace, when present, is reduced
+        to its scalar outcome (vector counts and clock totals).
+        """
+        simulation = None
+        if self.simulation is not None:
+            simulation = {
+                "seeds_applied": self.simulation.seeds_applied,
+                "vectors_applied": self.simulation.vectors_applied,
+                "lfsr_clocks": self.simulation.lfsr_clocks,
+                "skip_clocks": self.simulation.skip_clocks,
+                "group_sizes": {
+                    str(count): size
+                    for count, size in self.simulation.group_sizes.items()
+                },
+            }
+        return {
+            "circuit": self.circuit,
+            "config": self.config.to_dict(),
+            "encoding": self.encoding.to_dict(),
+            "reduction": self.reduction.to_dict(),
+            "hardware": self.hardware.to_dict(),
+            "encoding_verified": self.encoding_verified,
+            "simulation": simulation,
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CompressionReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The returned report answers every figure-of-merit query (TDV, TSL,
+        improvement, GE breakdown) identically to the original; the
+        simulation trace is restored as a vector-less
+        :class:`SimulationOutcome` when one was stored.
+        """
+        simulation = None
+        if data.get("simulation") is not None:
+            stored = data["simulation"]
+            simulation = SimulationOutcome(
+                seeds_applied=stored["seeds_applied"],
+                vectors_applied=stored["vectors_applied"],
+                useful_vectors=[],
+                lfsr_clocks=stored["lfsr_clocks"],
+                skip_clocks=stored["skip_clocks"],
+                group_sizes={
+                    int(count): size
+                    for count, size in stored["group_sizes"].items()
+                },
+            )
+        return cls(
+            circuit=data["circuit"],
+            config=CompressionConfig.from_dict(data["config"]),
+            encoding=EncodingResult.from_dict(data["encoding"]),
+            reduction=ReductionResult.from_dict(data["reduction"]),
+            hardware=HardwareReport.from_dict(data["hardware"]),
+            encoding_verified=bool(data["encoding_verified"]),
+            simulation=simulation,
+        )
+
 
 def compress(
     test_set: TestSet,
@@ -202,7 +271,8 @@ def _encode_with_retries(
     if lfsr_size is None:
         lfsr_size = test_set.max_specified() + 8
     last_error: Optional[EncodingError] = None
-    for attempt in range(config.max_phase_retries + 1):
+    attempts = config.max_phase_retries + 1
+    for attempt in range(attempts):
         encoder = ReseedingEncoder(
             num_cells=test_set.num_cells,
             num_scan_chains=config.num_scan_chains,
@@ -216,4 +286,14 @@ def _encode_with_retries(
             return encoder, encoder.encode(test_set)
         except EncodingError as error:
             last_error = error
-    raise last_error
+    if last_error is None:
+        raise ValueError(
+            f"no encoding attempt was made for {test_set.name!r}: "
+            f"max_phase_retries={config.max_phase_retries} allows "
+            f"{attempts} attempts"
+        )
+    raise EncodingError(
+        f"all {attempts} phase-shifter attempts failed for "
+        f"{test_set.name!r} (lfsr_size={lfsr_size}, "
+        f"window_length={config.window_length}): {last_error}"
+    ) from last_error

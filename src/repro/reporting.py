@@ -62,6 +62,36 @@ def comparison_row(
     return row
 
 
+def pivot_rows(
+    rows: Sequence[Dict[str, Cell]],
+    row_axis: str,
+    col_axis: str,
+    value: str,
+    reduce: str = "max",
+) -> Dict[Cell, Dict[Cell, Cell]]:
+    """Pivot flat rows into a two-axis grid (``{row -> {col -> value}}``).
+
+    Rows missing either axis are skipped.  When several rows collide on one
+    cell, ``reduce`` picks the survivor: ``"max"``, ``"min"`` or ``"last"``.
+    """
+    if reduce not in ("max", "min", "last"):
+        raise ValueError("reduce must be 'max', 'min' or 'last'")
+    grid: Dict[Cell, Dict[Cell, Cell]] = {}
+    for row in rows:
+        if row_axis not in row or col_axis not in row:
+            continue
+        cell = grid.setdefault(row[row_axis], {})
+        current = cell.get(row[col_axis])
+        if (
+            current is None
+            or reduce == "last"
+            or (reduce == "max" and row[value] > current)
+            or (reduce == "min" and row[value] < current)
+        ):
+            cell[row[col_axis]] = row[value]
+    return grid
+
+
 def improvement_table(
     circuit: str,
     sweep: Dict[int, Dict[int, float]],

@@ -108,17 +108,22 @@ class SeedSchedule:
 
 @dataclass
 class ReductionResult:
-    """Complete outcome of the State Skip reduction for one encoding."""
+    """Complete outcome of the State Skip reduction for one encoding.
+
+    ``selection`` and ``embedding`` carry the full analysis maps of a live
+    reduction; results rebuilt from :meth:`from_dict` leave them ``None``
+    (the schedules alone determine every figure of merit).
+    """
 
     circuit: str
     config: ReductionConfig
     window_length: int
     num_segments_per_window: int
     schedules: List[SeedSchedule]
-    selection: UsefulSegmentSelection
-    embedding: EmbeddingMap
     original_tsl: int
     test_data_volume: int
+    selection: Optional[UsefulSegmentSelection] = None
+    embedding: Optional[EmbeddingMap] = None
 
     @property
     def test_sequence_length(self) -> int:
@@ -132,7 +137,9 @@ class ReductionResult:
 
     @property
     def num_useful_segments(self) -> int:
-        return self.selection.num_useful
+        if self.selection is not None:
+            return self.selection.num_useful
+        return sum(schedule.num_useful for schedule in self.schedules)
 
     @property
     def num_seeds(self) -> int:
@@ -164,6 +171,81 @@ class ReductionResult:
             "improvement_pct": self.improvement_percent,
             "useful_segments": self.num_useful_segments,
         }
+
+    # ------------------------------------------------------------------
+    # Serialisation (campaign result store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe serialisation of the schedules and figures of merit.
+
+        The analysis maps (``selection``, ``embedding``) are not stored;
+        a result loaded back with :meth:`from_dict` reports the same TSL,
+        improvement and per-seed schedules but cannot answer which cube is
+        covered by which segment.
+        """
+        return {
+            "circuit": self.circuit,
+            "config": {
+                "segment_size": self.config.segment_size,
+                "speedup": self.config.speedup,
+                "alignment": self.config.alignment,
+                "force_first_segment_useful": self.config.force_first_segment_useful,
+            },
+            "window_length": self.window_length,
+            "num_segments_per_window": self.num_segments_per_window,
+            "original_tsl": self.original_tsl,
+            "test_data_volume": self.test_data_volume,
+            "schedules": [
+                {
+                    "seed_index": schedule.seed_index,
+                    "useful_segments": list(schedule.useful_segments),
+                    "segments": [
+                        [
+                            plan.segment_index,
+                            plan.useful,
+                            list(plan.vector_range),
+                            plan.vectors_applied,
+                            plan.lfsr_clocks,
+                            plan.skip_clocks,
+                        ]
+                        for plan in schedule.segments
+                    ],
+                }
+                for schedule in self.schedules
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReductionResult":
+        """Rebuild a schedule-level result from :meth:`to_dict` output."""
+        schedules = [
+            SeedSchedule(
+                seed_index=entry["seed_index"],
+                useful_segments=list(entry["useful_segments"]),
+                segments=[
+                    SegmentPlan(
+                        segment_index=index,
+                        useful=bool(useful),
+                        vector_range=(vector_range[0], vector_range[1]),
+                        vectors_applied=vectors_applied,
+                        lfsr_clocks=lfsr_clocks,
+                        skip_clocks=skip_clocks,
+                    )
+                    for index, useful, vector_range, vectors_applied,
+                    lfsr_clocks, skip_clocks in entry["segments"]
+                ],
+            )
+            for entry in data["schedules"]
+        ]
+        return cls(
+            circuit=data["circuit"],
+            config=ReductionConfig(**data["config"]),
+            window_length=data["window_length"],
+            num_segments_per_window=data["num_segments_per_window"],
+            schedules=schedules,
+            original_tsl=data["original_tsl"],
+            test_data_volume=data["test_data_volume"],
+        )
 
 
 class SequenceReducer:

@@ -10,6 +10,7 @@ serialisation so generated sets can be stored alongside the benchmarks.
 
 from __future__ import annotations
 
+import hashlib
 import statistics
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
@@ -157,6 +158,22 @@ class TestSet:
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the test set.
+
+        Covers the name, width and every cube string (in order), so two test
+        sets with the same fingerprint encode identically.  Computed with
+        SHA-256 over the canonical text form, making it safe to use as a
+        cache key across processes and interpreter runs -- the campaign
+        result store keys every record by ``(fingerprint, config.cache_key())``.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self._name}\n{self._num_cells}\n".encode("utf-8"))
+        for cube in self._cubes:
+            digest.update(cube.to_string().encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()[:16]
+
     def to_text(self) -> str:
         """Serialise as one cube string per line with a small header."""
         lines = [f"# test set {self._name}", f"# cells {self._num_cells}"]

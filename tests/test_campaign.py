@@ -1,0 +1,527 @@
+"""Tests of the campaign subsystem: spec, store, runner, report, CLI."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.report import (
+    best_config_rows,
+    best_config_table,
+    campaign_report,
+    improvement_grids,
+)
+from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.campaign.spec import CampaignSpec, TestSource
+from repro.campaign.store import ResultStore, StoredResult, result_key
+from repro.cli import main
+from repro.config import CompressionConfig
+from repro.pipeline import compress
+from repro.testdata.profiles import custom_profile
+from repro.testdata.synthetic import generate_test_set
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _tiny_test_set(name="camp_core", seed=7):
+    profile = custom_profile(
+        name,
+        scan_cells=64,
+        num_cubes=20,
+        max_specified=8,
+        mean_specified=4.0,
+        scan_chains=8,
+        lfsr_size=16,
+    )
+    return generate_test_set(profile, seed=seed)
+
+
+@pytest.fixture()
+def cube_file(tmp_path):
+    test_set = _tiny_test_set()
+    path = tmp_path / "camp_core.tests"
+    path.write_text(test_set.to_text())
+    return path
+
+
+@pytest.fixture()
+def tiny_config():
+    return CompressionConfig(
+        window_length=20, segment_size=4, speedup=6, num_scan_chains=8, lfsr_size=16
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_cartesian_expansion_is_deterministic(self, cube_file):
+        spec = CampaignSpec(
+            name="grid",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8),
+            axes={"speedup": [3, 6], "segment_size": [4, 10]},
+        )
+        ids = [job.job_id for job in spec.jobs()]
+        assert ids == [
+            "camp_core:speedup=3,segment_size=4",
+            "camp_core:speedup=3,segment_size=10",
+            "camp_core:speedup=6,segment_size=4",
+            "camp_core:speedup=6,segment_size=10",
+        ]
+        assert ids == [job.job_id for job in spec.jobs()]  # stable
+        assert spec.num_jobs == 4
+
+    def test_filter_prunes_combinations(self, cube_file):
+        spec = CampaignSpec(
+            name="filtered",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(num_scan_chains=8),
+            axes={"window_length": [10, 40], "segment_size": [4, 20]},
+            filter="segment_size <= window_length",
+        )
+        combos = [(job.config.window_length, job.config.segment_size)
+                  for job in spec.jobs()]
+        assert combos == [(10, 4), (40, 4), (40, 20)]
+
+    def test_unknown_axis_rejected(self, cube_file):
+        with pytest.raises(ValueError, match="unknown config axes"):
+            CampaignSpec(
+                name="bad",
+                sources=(TestSource(tests=str(cube_file)),),
+                axes={"warp_factor": [9]},
+            )
+
+    def test_source_needs_exactly_one_kind(self):
+        with pytest.raises(ValueError):
+            TestSource()
+        with pytest.raises(ValueError):
+            TestSource(profile="s13207", tests="x.tests")
+        with pytest.raises(KeyError):
+            TestSource(profile="not_a_circuit")
+
+    def test_profile_source_resolves_lfsr_default(self):
+        test_set, lfsr = TestSource(profile="s13207", scale=0.03).resolve()
+        assert lfsr == 24
+        assert len(test_set) >= 20
+
+    def test_from_json_file(self, tmp_path, cube_file):
+        data = {
+            "name": "json-campaign",
+            "sources": [{"tests": str(cube_file)}],
+            "base": {"window_length": 20, "num_scan_chains": 8},
+            "axes": {"speedup": [3, 6]},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(data))
+        spec = CampaignSpec.from_file(path)
+        assert spec.name == "json-campaign"
+        assert spec.base.window_length == 20
+        assert spec.num_jobs == 2
+
+    def test_from_toml_file(self, tmp_path, cube_file):
+        pytest.importorskip("tomllib")
+        text = (
+            'name = "toml-campaign"\n'
+            "[[sources]]\n"
+            f'tests = "{cube_file}"\n'
+            "[base]\n"
+            "window_length = 20\n"
+            "num_scan_chains = 8\n"
+            "[axes]\n"
+            "speedup = [3, 6, 12]\n"
+        )
+        path = tmp_path / "spec.toml"
+        path.write_text(text)
+        spec = CampaignSpec.from_file(path)
+        assert spec.name == "toml-campaign"
+        assert spec.num_jobs == 3
+
+    def test_base_typo_in_spec_rejected(self, cube_file):
+        data = {
+            "name": "typo",
+            "sources": [{"tests": str(cube_file)}],
+            "base": {"window_lenght": 300},
+        }
+        with pytest.raises(ValueError, match="unknown \\[base\\] config keys"):
+            CampaignSpec.from_dict(data)
+
+    def test_filter_rejects_code_execution(self, cube_file):
+        spec = CampaignSpec(
+            name="evil",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(num_scan_chains=8),
+            axes={"speedup": [3]},
+            filter="().__class__.__base__.__subclasses__()",
+        )
+        with pytest.raises(ValueError, match="disallowed syntax"):
+            spec.jobs()
+        for expression in ("__import__('os')", "speedup.bit_length()"):
+            bad = CampaignSpec.from_dict(
+                dict(spec.to_dict(), filter=expression)
+            )
+            with pytest.raises(ValueError, match="disallowed syntax"):
+                bad.jobs()
+
+    def test_filter_unknown_name_is_an_error(self, cube_file):
+        spec = CampaignSpec(
+            name="typo-filter",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(num_scan_chains=8),
+            axes={"speedup": [3]},
+            filter="speedo > 2",
+        )
+        with pytest.raises(ValueError, match="unknown name"):
+            spec.jobs()
+
+    def test_round_trip_dict(self, cube_file):
+        spec = CampaignSpec(
+            name="rt",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8),
+            axes={"speedup": [3, 6]},
+            filter="speedup > 1",
+        )
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert [j.job_id for j in clone.jobs()] == [j.job_id for j in spec.jobs()]
+
+
+# ----------------------------------------------------------------------
+# Store and keys
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_summary_round_trip_through_store(self, tmp_path, tiny_config):
+        test_set = _tiny_test_set()
+        report = compress(test_set, tiny_config)
+        key = result_key(test_set.fingerprint(), tiny_config)
+        store = ResultStore(tmp_path / "store")
+        store.put(
+            StoredResult(
+                key=key,
+                job_id="unit",
+                circuit=test_set.name,
+                fingerprint=test_set.fingerprint(),
+                config=tiny_config.to_dict(),
+                status="ok",
+                summary=report.summary(),
+                elapsed_s=0.1,
+            )
+        )
+        reloaded = ResultStore(tmp_path / "store")
+        assert len(reloaded) == 1
+        record = reloaded.get(key)
+        assert record.ok
+        assert record.summary == report.summary()
+        assert reloaded.rows() == [report.summary()]
+        assert reloaded.completed(key)
+
+    def test_last_record_wins(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        base = dict(
+            key="k1", job_id="j", circuit="c", fingerprint="f",
+            config=tiny_config.to_dict(),
+        )
+        store.put(StoredResult(status="error", error="boom", **base))
+        assert not store.completed("k1")
+        store.put(StoredResult(status="ok", summary={"circuit": "c"}, **base))
+        assert store.completed("k1")
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("k1").ok
+
+    def test_corrupt_store_raises(self, tmp_path):
+        (tmp_path / "results.jsonl").write_text("{not json}\n")
+        with pytest.raises(ValueError, match="corrupt result store"):
+            ResultStore(tmp_path)
+
+    def test_key_depends_on_config_and_fingerprint(self, tiny_config):
+        other_config = tiny_config.with_updates(speedup=12)
+        assert result_key("f1", tiny_config) != result_key("f1", other_config)
+        assert result_key("f1", tiny_config) != result_key("f2", tiny_config)
+        assert result_key("f1", tiny_config) == result_key("f1", tiny_config)
+
+    def test_cache_key_stable_across_processes(self, tiny_config):
+        """Keys must not depend on PYTHONHASHSEED or process identity."""
+        test_set = _tiny_test_set()
+        script = (
+            "from repro.config import CompressionConfig\n"
+            "from repro.campaign.store import result_key\n"
+            "from repro.testdata.profiles import custom_profile\n"
+            "from repro.testdata.synthetic import generate_test_set\n"
+            f"config = CompressionConfig.from_dict({tiny_config.to_dict()!r})\n"
+            "profile = custom_profile('camp_core', scan_cells=64, num_cubes=20,\n"
+            "    max_specified=8, mean_specified=4.0, scan_chains=8, lfsr_size=16)\n"
+            "test_set = generate_test_set(profile, seed=7)\n"
+            "print(config.cache_key())\n"
+            "print(test_set.fingerprint())\n"
+            "print(result_key(test_set.fingerprint(), config))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        lines = {}
+        for hash_seed in ("1", "2"):
+            env["PYTHONHASHSEED"] = hash_seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            lines[hash_seed] = proc.stdout.splitlines()
+        assert lines["1"] == lines["2"]
+        assert lines["1"][0] == tiny_config.cache_key()
+        assert lines["1"][1] == test_set.fingerprint()
+        assert lines["1"][2] == result_key(test_set.fingerprint(), tiny_config)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def _small_two_profile_spec(scale=0.03):
+    return CampaignSpec(
+        name="two-profiles",
+        sources=(
+            TestSource(profile="s13207", scale=scale),
+            TestSource(profile="s9234", scale=scale),
+        ),
+        base=CompressionConfig(window_length=30),
+        axes={"speedup": [3, 6, 12], "segment_size": [5, 10]},
+    )
+
+
+class TestRunner:
+    def test_inline_run_and_resume_skips_all_jobs(self, tmp_path, cube_file):
+        spec = CampaignSpec(
+            name="resume",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8, lfsr_size=16),
+            axes={"speedup": [3, 6], "segment_size": [4, 10]},
+        )
+        store = ResultStore(tmp_path / "store")
+        first = CampaignRunner(spec, store, jobs=1).run()
+        assert first.num_jobs == 4
+        assert first.num_computed == 4
+        assert first.num_failed == 0
+        assert not first.all_cached
+        stored_lines = store.path.read_text().count("\n")
+        assert stored_lines == 4
+
+        second = CampaignRunner(spec, store, jobs=1).run()
+        assert second.all_cached
+        assert second.num_computed == 0
+        assert second.num_cached == 4
+        # zero recomputation: nothing new was appended to the store
+        assert store.path.read_text().count("\n") == stored_lines
+        # cached outcomes still carry the stored summaries, in job order
+        assert second.rows() == first.rows()
+
+    def test_resume_disabled_recomputes(self, tmp_path, cube_file):
+        spec = CampaignSpec(
+            name="no-resume",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8, lfsr_size=16),
+            axes={"speedup": [3]},
+        )
+        store = ResultStore(tmp_path)
+        CampaignRunner(spec, store, jobs=1).run()
+        rerun = CampaignRunner(spec, store, jobs=1, resume=False).run()
+        assert rerun.num_computed == 1
+        assert rerun.num_cached == 0
+
+    def test_two_worker_end_to_end_two_profiles(self, tmp_path):
+        spec = _small_two_profile_spec()
+        store = ResultStore(tmp_path / "store")
+        result = CampaignRunner(spec, store, jobs=2).run()
+        assert result.num_jobs == 12
+        assert result.num_computed == 12
+        assert result.num_failed == 0
+        circuits = {row["circuit"] for row in result.rows()}
+        assert circuits == {"s13207@0.03", "s9234@0.03"}
+        # every job's summary landed in the store
+        assert len(store.rows()) == 12
+        # the profile's LFSR size was injected into each job config
+        assert {row["lfsr_size"] for row in result.rows()} == {24, 44}
+
+    def test_acceptance_grid_jobs4_then_full_cache_hits(self, tmp_path):
+        """Acceptance: >=12 jobs over >=2 profiles with --jobs 4, then a
+        resumed invocation reports every job as a cache hit."""
+        spec = _small_two_profile_spec()
+        assert spec.num_jobs >= 12
+        store = ResultStore(tmp_path / "store")
+        first = CampaignRunner(spec, store, jobs=4).run()
+        assert first.num_failed == 0
+        assert len(store.rows()) == spec.num_jobs
+
+        resumed = CampaignRunner(spec, store, jobs=4).run()
+        assert resumed.all_cached
+        assert resumed.num_cached == spec.num_jobs
+        assert resumed.num_computed == 0
+        assert all(outcome.status == "cached" for outcome in resumed.outcomes)
+
+    def test_errors_are_captured_not_fatal(self, tmp_path, cube_file):
+        # lfsr_size=2 cannot encode 8-bit cubes: every job must fail cleanly.
+        spec = CampaignSpec(
+            name="failing",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(
+                window_length=20, num_scan_chains=8, lfsr_size=2,
+                max_phase_retries=0,
+            ),
+            axes={"speedup": [3, 6]},
+        )
+        store = ResultStore(tmp_path)
+        result = CampaignRunner(spec, store, jobs=1).run()
+        assert result.num_failed == 2
+        assert result.num_computed == 0
+        for outcome in result.failures():
+            assert outcome.status == "error"
+            assert "Traceback" in outcome.error and "Error" in outcome.error
+        # failures are recorded but not treated as resumable completions
+        retry = CampaignRunner(spec, store, jobs=1).run()
+        assert retry.num_cached == 0
+        assert retry.num_failed == 2
+
+    def test_progress_and_store_are_incremental(self, tmp_path, cube_file):
+        """Each outcome is reported and persisted as its job finishes."""
+        spec = CampaignSpec(
+            name="incremental",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8, lfsr_size=16),
+            axes={"speedup": [3, 6]},
+        )
+        store = ResultStore(tmp_path)
+        seen = []
+
+        def watch(outcome):
+            # by the time an outcome is reported, it is already on disk
+            seen.append(
+                (outcome.job.job_id, store.path.read_text().count("\n"))
+            )
+
+        CampaignRunner(spec, store, jobs=1).run(progress=watch)
+        assert [lines for _, lines in seen] == [1, 2]
+
+        seen.clear()
+        CampaignRunner(spec, store, jobs=1).run(progress=watch)
+        assert [lines for _, lines in seen] == [2, 2]  # cached: nothing appended
+
+    def test_colliding_job_labels_keep_both_outcomes(self, tmp_path, cube_file):
+        # two cube files with the same stem in different directories share
+        # the label "camp_core", hence identical job ids
+        other_dir = cube_file.parent / "other"
+        other_dir.mkdir()
+        clash = other_dir / cube_file.name
+        clash.write_text(_tiny_test_set(seed=11).to_text())
+        spec = CampaignSpec(
+            name="clash",
+            sources=(
+                TestSource(tests=str(cube_file)),
+                TestSource(tests=str(clash)),
+            ),
+            base=CompressionConfig(window_length=20, num_scan_chains=8),
+            axes={"speedup": [3]},
+        )
+        jobs = spec.jobs()
+        assert len({job.job_id for job in jobs}) == 1  # labels do collide
+        result = CampaignRunner(spec, ResultStore(tmp_path), jobs=1).run()
+        assert result.num_jobs == 2
+        assert result.num_computed == 2  # neither outcome was overwritten
+        assert len({outcome.key for outcome in result.outcomes}) == 2
+
+    def test_runner_rejects_bad_worker_count(self, tmp_path, cube_file):
+        spec = CampaignSpec(
+            name="bad", sources=(TestSource(tests=str(cube_file)),),
+        )
+        with pytest.raises(ValueError):
+            CampaignRunner(spec, ResultStore(tmp_path), jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+def _rows():
+    return [
+        {"circuit": "a", "speedup": 3, "segment_size": 4,
+         "improvement_pct": 60.0, "state_skip_tsl": 400, "window_length": 30},
+        {"circuit": "a", "speedup": 6, "segment_size": 4,
+         "improvement_pct": 70.0, "state_skip_tsl": 300, "window_length": 30},
+        {"circuit": "b", "speedup": 3, "segment_size": 4,
+         "improvement_pct": 50.0, "state_skip_tsl": 500, "window_length": 30},
+    ]
+
+
+class TestReport:
+    def test_improvement_grids(self):
+        grids = improvement_grids(_rows())
+        assert grids["a"][3][4] == 60.0
+        assert grids["a"][6][4] == 70.0
+        assert grids["b"][3][4] == 50.0
+
+    def test_grid_collisions_keep_best(self):
+        rows = _rows() + [
+            {"circuit": "a", "speedup": 3, "segment_size": 4,
+             "improvement_pct": 65.0, "state_skip_tsl": 350},
+        ]
+        assert improvement_grids(rows)["a"][3][4] == 65.0
+
+    def test_best_config_rows_minimise_tsl(self):
+        best = best_config_rows(_rows())
+        assert [row["circuit"] for row in best] == ["a", "b"]
+        assert best[0]["state_skip_tsl"] == 300
+
+    def test_campaign_report_text(self):
+        text = campaign_report(_rows(), title="unit")
+        assert "TSL improvement (%) for a (unit)" in text
+        assert "Best configuration per circuit" in text
+        assert campaign_report([], title="unit").startswith("campaign unit")
+
+    def test_best_config_table_renders(self):
+        text = best_config_table(_rows(), columns=["circuit", "state_skip_tsl"])
+        assert "circuit" in text
+        assert "300" in text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCampaignCommand:
+    def test_cli_campaign_runs_and_resumes(self, tmp_path, cube_file, capsys):
+        argv = [
+            "campaign",
+            "--tests", str(cube_file),
+            "--chains", "8",
+            "--windows", "20",
+            "--segments", "4",
+            "--speedups", "3", "6",
+            "--jobs", "1",
+            "--store", str(tmp_path / "store"),
+            "--report",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 computed, 0 cached" in out
+        assert "TSL improvement" in out
+        assert "Best configuration per circuit" in out
+
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 cached" in out
+
+    def test_cli_campaign_requires_sources(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--windows", "20"])
+
+    def test_cli_campaign_spec_file(self, tmp_path, cube_file, capsys):
+        data = {
+            "name": "cli-spec",
+            "sources": [{"tests": str(cube_file)}],
+            "base": {"window_length": 20, "num_scan_chains": 8},
+            "axes": {"speedup": [3]},
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(data))
+        code = main(
+            ["campaign", "--spec", str(spec_path), "--store", str(tmp_path / "s")]
+        )
+        assert code == 0
+        assert "campaign cli-spec: 1 jobs" in capsys.readouterr().out

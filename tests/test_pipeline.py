@@ -1,13 +1,23 @@
 """Integration tests of the top-level pipeline, config and reporting."""
 
+import json
+
 import pytest
 
 import repro
 from repro.config import CompressionConfig
-from repro.pipeline import compress, compress_profile
-from repro.reporting import comparison_row, format_table, improvement_table
+from repro.encoding.window import EncodingError
+from repro.pipeline import CompressionReport, compress, compress_profile
+from repro.reporting import (
+    comparison_row,
+    format_table,
+    improvement_table,
+    pivot_rows,
+)
+from repro.testdata.cube import TestCube
 from repro.testdata.profiles import custom_profile, get_profile
 from repro.testdata.synthetic import generate_test_set
+from repro.testdata.test_set import TestSet
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +50,25 @@ class TestConfig:
             CompressionConfig(speedup=0)
         with pytest.raises(ValueError):
             CompressionConfig(alignment="fuzzy")
+        with pytest.raises(ValueError):
+            CompressionConfig(max_phase_retries=-1)
+        with pytest.raises(ValueError):
+            CompressionConfig(num_scan_chains=0)
+        with pytest.raises(ValueError):
+            CompressionConfig(phase_taps=0)
+        with pytest.raises(ValueError):
+            CompressionConfig(lfsr_size=1)
+
+    def test_dict_round_trip_and_cache_key(self):
+        config = CompressionConfig(window_length=60, segment_size=6, speedup=8)
+        clone = CompressionConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.cache_key() == config.cache_key()
+        # unknown keys (from a newer version's store) are tolerated
+        extended = dict(config.to_dict(), future_knob=42)
+        assert CompressionConfig.from_dict(extended) == config
+        # any knob change moves the key
+        assert config.with_updates(speedup=9).cache_key() != config.cache_key()
 
     def test_presets_and_updates(self):
         soc = CompressionConfig.paper_soc()
@@ -103,6 +132,61 @@ class TestPipeline:
         with pytest.raises(AttributeError):
             _ = repro.does_not_exist
 
+    def test_report_json_round_trip(self, small_profile):
+        test_set = generate_test_set(small_profile, seed=3)
+        config = CompressionConfig(
+            window_length=24, segment_size=4, speedup=6,
+            num_scan_chains=8, lfsr_size=16,
+        )
+        report = compress(test_set, config, verify=True, simulate=True)
+        blob = json.dumps(report.to_dict())  # must be JSON-safe
+        clone = CompressionReport.from_dict(json.loads(blob))
+        assert clone.summary() == report.summary()
+        assert clone.hardware.breakdown() == report.hardware.breakdown()
+        assert clone.config == report.config
+        assert clone.encoding.seed_vectors() == report.encoding.seed_vectors()
+        assert clone.encoding.cube_assignment() == report.encoding.cube_assignment()
+        assert (
+            clone.reduction.test_sequence_length
+            == report.reduction.test_sequence_length
+        )
+        assert clone.reduction.num_useful_segments \
+            == report.reduction.num_useful_segments
+        assert clone.simulation.vectors_applied == report.simulation.vectors_applied
+        assert clone.simulation.group_sizes == report.simulation.group_sizes
+
+    def test_test_set_fingerprint_tracks_content(self, small_profile):
+        first = generate_test_set(small_profile, seed=3)
+        again = generate_test_set(small_profile, seed=3)
+        other_seed = generate_test_set(small_profile, seed=4)
+        assert first.fingerprint() == again.fingerprint()
+        assert first.fingerprint() != other_seed.fingerprint()
+        renamed = TestSet("other_name", first.cubes)
+        assert renamed.fingerprint() != first.fingerprint()
+
+    def test_encode_retry_exhaustion_is_descriptive(self, monkeypatch):
+        from repro.encoding.encoder import ReseedingEncoder
+
+        attempts = []
+
+        def always_conflicts(self, test_set):
+            attempts.append(1)
+            raise EncodingError("synthetic hard conflict")
+
+        monkeypatch.setattr(ReseedingEncoder, "encode", always_conflicts)
+        test_set = TestSet("retry_unit", [TestCube.from_string("11XX")])
+        config = CompressionConfig(
+            window_length=4, segment_size=2, speedup=2,
+            num_scan_chains=2, lfsr_size=8, max_phase_retries=2,
+        )
+        with pytest.raises(EncodingError) as excinfo:
+            compress(test_set, config)
+        assert len(attempts) == 3  # max_phase_retries + 1
+        message = str(excinfo.value)
+        assert "all 3 phase-shifter attempts failed" in message
+        assert "retry_unit" in message
+        assert "synthetic hard conflict" in message
+
 
 class TestReporting:
     def test_format_table_alignment(self):
@@ -135,3 +219,19 @@ class TestReporting:
         assert "s13207" in text
         assert "S=4" in text
         assert "93.0" in text
+
+    def test_pivot_rows(self):
+        rows = [
+            {"k": 3, "S": 4, "pct": 70.0},
+            {"k": 3, "S": 10, "pct": 69.0},
+            {"k": 24, "S": 4, "pct": 93.0},
+            {"k": 3, "S": 4, "pct": 71.0},  # collision
+            {"S": 4, "pct": 1.0},  # missing axis: skipped
+        ]
+        assert pivot_rows(rows, "k", "S", "pct") == {
+            3: {4: 71.0, 10: 69.0}, 24: {4: 93.0},
+        }
+        assert pivot_rows(rows, "k", "S", "pct", reduce="min")[3][4] == 70.0
+        assert pivot_rows(rows, "k", "S", "pct", reduce="last")[3][4] == 71.0
+        with pytest.raises(ValueError):
+            pivot_rows(rows, "k", "S", "pct", reduce="sum")
