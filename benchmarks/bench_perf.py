@@ -1,0 +1,47 @@
+"""Hot-kernel throughput benchmarks (the ``repro bench`` kernels as pytest).
+
+Runs the encoding-scan and fault-simulation kernel benchmarks of
+:mod:`repro.perf` -- the same measurements ``repro bench`` makes -- and
+publishes the throughput/speedup table to ``results/perf_kernels.txt``.
+``REPRO_BENCH_FULL=1`` switches from the quick to the full configurations.
+
+Each kernel verifies itself while it measures: the optimized encoder must
+produce a bit-identical :class:`~repro.encoding.results.EncodingResult` to
+the reference scan, and the cone-based fault simulator must report the
+identical detected-fault set as the dense 64-bit reference -- so a benchmark
+run that passes is also an equivalence proof on the measured workloads.
+"""
+
+from repro.perf import run_benchmarks
+
+from conftest import full_runs_enabled, publish
+
+
+def _format(reports) -> str:
+    lines = [
+        f"{'kernel':<10} {'case':<14} {'wall_s':>8} {'throughput':>16} "
+        f"{'unit':<18} {'vs_ref':>7}",
+        "-" * 78,
+    ]
+    for report in reports:
+        for case in report.cases:
+            lines.append(
+                f"{report.kernel:<10} {case.name:<14} {case.wall_s:>8.3f} "
+                f"{case.throughput:>16,.0f} {case.unit:<18} "
+                f"{case.speedup:>6.2f}x"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def test_perf_kernels():
+    reports = run_benchmarks(quick=not full_runs_enabled())
+    for report in reports:
+        for case in report.cases:
+            # Bit-identity with the reference is the contract; the speedup
+            # figures are published for inspection but not asserted (tiny
+            # quick-mode walls make a hard threshold flaky on busy hosts).
+            assert case.verified, (
+                f"{report.kernel}/{case.name}: optimized kernel diverged "
+                f"from the reference implementation"
+            )
+    publish("perf_kernels", _format(reports))

@@ -1,17 +1,22 @@
 """Parallel-pattern single-fault propagation fault simulation.
 
 The simulator evaluates the fault-free circuit once per pattern block (up to
-``word_width`` patterns packed into each net's integer), then, fault by
+``word_width`` patterns packed into each net's integer -- Python ints have
+arbitrary width, so the default block is 256 patterns wide), then, fault by
 fault, re-evaluates only with the fault injected and compares the primary
 outputs.  A fault is detected under pattern ``p`` when any output differs in
 bit ``p``.  Fault dropping removes detected faults from subsequent blocks,
 which is what makes the ATPG loop (generate a cube, random-fill it, simulate,
 drop) cheap.
 
-This is the textbook PPSFP scheme; it is intentionally simple rather than
-maximally clever (no critical-path tracing), because the circuits this
-substrate targets are the built-in and generated benchmarks, not
-million-gate designs.
+Per-fault work is bounded three ways: the shared fault-free block evaluation
+is memoized and reused by every fault, a fault whose site already carries the
+stuck value under every pattern of the block is skipped outright (it cannot
+be activated), and only the gates in the fault's fanout cone are re-evaluated
+-- event-driven, so propagation stops as soon as the faulty values converge
+back to the good ones.  ``use_cones=False`` restores the original
+full-circuit re-evaluation per fault; both paths report identical detections
+(the golden-equivalence test relies on this).
 """
 
 from __future__ import annotations
@@ -21,7 +26,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.circuits.faults import StuckAtFault, collapse_faults
 from repro.circuits.netlist import Netlist
-from repro.circuits.simulator import pack_patterns, simulate_parallel
+from repro.circuits.simulator import (
+    _OP_AND,
+    _OP_OR,
+    _OP_XOR,
+    PlanRow,
+    evaluation_plan,
+    pack_patterns,
+    simulate_parallel,
+)
 
 
 @dataclass
@@ -48,17 +61,25 @@ class FaultSimulator:
         self,
         netlist: Netlist,
         faults: Optional[Sequence[StuckAtFault]] = None,
-        word_width: int = 64,
+        word_width: int = 256,
+        use_cones: bool = True,
     ):
         if word_width < 1:
             raise ValueError("word_width must be positive")
         self._netlist = netlist
         self._word_width = word_width
+        self._use_cones = use_cones
         self._remaining: Set[StuckAtFault] = set(
             faults if faults is not None else collapse_faults(netlist)
         )
         self._detected: Set[StuckAtFault] = set()
         self._initial_count = len(self._remaining)
+        # Cone-evaluation state, all built lazily on the first cone query so
+        # the dense reference configuration (use_cones=False) pays nothing.
+        self._output_set: Optional[frozenset] = None
+        self._fanout: Optional[Dict[str, List[str]]] = None
+        self._cones: Dict[str, List[PlanRow]] = {}
+        self._plan_index: Optional[Dict[str, Tuple[int, PlanRow]]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -121,20 +142,98 @@ class FaultSimulator:
         if num_patterns == 0:
             return {}
         words = pack_patterns(self._netlist, block)
+        # The fault-free evaluation is computed once and shared by every
+        # fault of the block (each fault only overlays its fanout cone).
         good = simulate_parallel(self._netlist, words, num_patterns)
         mask = (1 << num_patterns) - 1
         detected: Dict[StuckAtFault, int] = {}
         outputs = self._netlist.outputs
         for fault in list(self._remaining):
-            faulty = self._simulate_with_fault(words, num_patterns, fault)
-            diff = 0
-            for net in outputs:
-                diff |= (good[net] ^ faulty[net]) & mask
-                if diff == mask:
-                    break
+            if self._use_cones:
+                diff = self._cone_diff(good, mask, fault)
+            else:
+                faulty = self._simulate_with_fault(words, num_patterns, fault)
+                diff = 0
+                for net in outputs:
+                    diff |= (good[net] ^ faulty[net]) & mask
+                    if diff == mask:
+                        break
             if diff:
                 detected[fault] = diff
         return detected
+
+    def _cone_plan(self, net: str) -> List[PlanRow]:
+        """Evaluation-ordered plan rows of every gate in ``net``'s fanout."""
+        cached = self._cones.get(net)
+        if cached is not None:
+            return cached
+        if self._fanout is None:
+            self._fanout = self._netlist.fanout()
+        if self._plan_index is None:
+            self._plan_index = {
+                row[0]: (position, row)
+                for position, row in enumerate(evaluation_plan(self._netlist))
+            }
+        reached: Set[str] = set()
+        stack = list(self._fanout[net])
+        while stack:
+            output = stack.pop()
+            if output in reached:
+                continue
+            reached.add(output)
+            stack.extend(self._fanout[output])
+        indexed = sorted(self._plan_index[output] for output in reached)
+        cached = [row for _, row in indexed]
+        self._cones[net] = cached
+        return cached
+
+    def _cone_diff(self, good: Dict[str, int], mask: int, fault: StuckAtFault) -> int:
+        """Output difference word of one fault, via its fanout cone only."""
+        stuck_word = mask if fault.stuck_value else 0
+        if good[fault.net] == stuck_word:
+            # The site never deviates from the stuck value in this block, so
+            # the fault cannot be activated by any of its patterns.
+            return 0
+        changed: Dict[str, int] = {fault.net: stuck_word}
+        changed_get = changed.get
+        for output, op, inputs, inverting in self._cone_plan(fault.net):
+            dirty = False
+            for net in inputs:
+                if net in changed:
+                    dirty = True
+                    break
+            if not dirty:
+                continue
+            if op == _OP_AND:
+                result = mask
+                for net in inputs:
+                    value = changed_get(net)
+                    result &= good[net] if value is None else value
+            elif op == _OP_OR:
+                result = 0
+                for net in inputs:
+                    value = changed_get(net)
+                    result |= good[net] if value is None else value
+            elif op == _OP_XOR:
+                result = 0
+                for net in inputs:
+                    value = changed_get(net)
+                    result ^= good[net] if value is None else value
+            else:
+                value = changed_get(inputs[0])
+                result = good[inputs[0]] if value is None else value
+            if inverting:
+                result = ~result & mask
+            if result != good[output]:
+                changed[output] = result
+        diff = 0
+        output_set = self._output_set
+        if output_set is None:
+            output_set = self._output_set = frozenset(self._netlist.outputs)
+        for net, value in changed.items():
+            if net in output_set:
+                diff |= value ^ good[net]
+        return diff & mask
 
     def _simulate_with_fault(
         self, words: Dict[str, int], num_patterns: int, fault: StuckAtFault

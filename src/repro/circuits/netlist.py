@@ -87,6 +87,7 @@ class Netlist:
             self._gates[gate.output] = gate
         self._validate()
         self._topo_order = self._topological_order()
+        self._gates_in_order = tuple(self._gates[net] for net in self._topo_order)
 
     # ------------------------------------------------------------------
     # Validation
@@ -159,7 +160,15 @@ class Netlist:
 
     def gates(self) -> List[Gate]:
         """All gates in topological (evaluation) order."""
-        return [self._gates[net] for net in self._topo_order]
+        return list(self._gates_in_order)
+
+    def gate_sequence(self) -> Tuple[Gate, ...]:
+        """The gates in evaluation order, without the defensive copy.
+
+        The tuple is built once per netlist; simulators iterate it millions
+        of times, so handing out the cached object matters.
+        """
+        return self._gates_in_order
 
     def nets(self) -> List[str]:
         """All nets: primary inputs first, then gate outputs in topo order."""

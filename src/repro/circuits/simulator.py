@@ -14,12 +14,54 @@ Three entry points cover the needs of the package:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from weakref import WeakKeyDictionary
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.netlist import Gate, GateType, Netlist
 
 #: The unknown value of three-valued simulation.
 X = None
+
+#: Opcodes of the compiled pattern-parallel evaluation plan.
+_OP_AND, _OP_OR, _OP_XOR, _OP_BUF = 0, 1, 2, 3
+
+_OPCODE = {
+    GateType.AND: _OP_AND,
+    GateType.NAND: _OP_AND,
+    GateType.OR: _OP_OR,
+    GateType.NOR: _OP_OR,
+    GateType.XOR: _OP_XOR,
+    GateType.XNOR: _OP_XOR,
+    GateType.BUF: _OP_BUF,
+    GateType.NOT: _OP_BUF,
+}
+
+#: Plan rows: ``(output, opcode, inputs, inverting)`` in evaluation order.
+PlanRow = Tuple[str, int, Tuple[str, ...], bool]
+
+_PLAN_CACHE: "WeakKeyDictionary[Netlist, List[PlanRow]]" = WeakKeyDictionary()
+
+
+def evaluation_plan(netlist: Netlist) -> List[PlanRow]:
+    """The netlist's gates compiled to flat dispatch rows, cached.
+
+    Resolving gate type to an opcode + inverting flag once per netlist (and
+    not per gate visit) is what keeps the pattern-parallel inner loop to a
+    few integer operations per gate.
+    """
+    plan = _PLAN_CACHE.get(netlist)
+    if plan is None:
+        plan = [
+            (
+                gate.output,
+                _OPCODE[gate.gate_type],
+                gate.inputs,
+                gate.gate_type.inverting,
+            )
+            for gate in netlist.gate_sequence()
+        ]
+        _PLAN_CACHE[netlist] = plan
+    return plan
 
 
 def _eval_binary(gate: Gate, values: Dict[str, int]) -> int:
@@ -140,8 +182,22 @@ def simulate_parallel(
         if net not in input_words:
             raise ValueError(f"missing packed value for primary input {net!r}")
         values[net] = input_words[net] & mask
-    for gate in netlist.gates():
-        values[gate.output] = _eval_parallel(gate, values, mask)
+    for output, op, inputs, inverting in evaluation_plan(netlist):
+        if op == _OP_AND:
+            result = mask
+            for net in inputs:
+                result &= values[net]
+        elif op == _OP_OR:
+            result = 0
+            for net in inputs:
+                result |= values[net]
+        elif op == _OP_XOR:
+            result = 0
+            for net in inputs:
+                result ^= values[net]
+        else:
+            result = values[inputs[0]]
+        values[output] = ~result & mask if inverting else result
     return values
 
 

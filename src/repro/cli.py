@@ -21,18 +21,26 @@ Python:
     Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
     random circuit) and write the resulting test-cube file.
 
+``bench``
+    Benchmark the two hot kernels (encoding solvability scan, parallel-
+    pattern fault simulation), write ``BENCH_encoding.json`` /
+    ``BENCH_faultsim.json``, and optionally fail on a regression against a
+    committed baseline directory.
+
 Examples
 --------
 ::
 
     python -m repro compress --profile s13207 --scale 0.1 -L 100 -S 10 -k 12
     python -m repro compress --tests my_core.tests --chains 16 -L 60 -k 8
+    python -m repro compress --profile s9234 --profile-stats compress.pstats
     python -m repro sweep --profile s9234 --scale 0.1 -L 100
     python -m repro campaign --profiles s13207 s9234 --scale 0.1 \\
         --windows 50 100 --segments 4 10 --speedups 3 6 12 24 \\
         --jobs 4 --store results/campaign --resume --report
     python -m repro campaign --spec fig4.toml --jobs 8 --resume
     python -m repro atpg --bench my_core.bench --output my_core.tests
+    python -m repro bench --quick --out results --baseline results
 """
 
 from __future__ import annotations
@@ -95,7 +103,20 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
 def _cmd_compress(args: argparse.Namespace) -> int:
     test_set = _load_test_set(args)
     config = _config_from_args(args, test_set)
-    report = compress(test_set, config, verify=True, simulate=args.simulate)
+    if args.profile_stats:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = compress(test_set, config, verify=True, simulate=args.simulate)
+        profiler.disable()
+        profiler.dump_stats(args.profile_stats)
+        stats = pstats.Stats(profiler).sort_stats("cumulative")
+        print(f"profile written to {args.profile_stats} (top 10 by cumulative):")
+        stats.print_stats(10)
+    else:
+        report = compress(test_set, config, verify=True, simulate=args.simulate)
     rows = [report.summary()]
     print(format_table(rows, title="State Skip LFSR compression"))
     print(
@@ -253,6 +274,69 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import compare_to_baseline, record_in_store, run_benchmarks
+
+    reports = run_benchmarks(
+        kernels=args.kernels, quick=args.quick, repeat=args.repeat
+    )
+    rows = []
+    unverified = []
+    for report in reports:
+        path = report.write(args.out)
+        print(f"wrote {path}")
+        for case in report.cases:
+            row = {
+                "kernel": report.kernel,
+                "case": case.name,
+                "wall_s": round(case.wall_s, 3),
+                "throughput": f"{case.throughput:,.0f} {case.unit}",
+                "vs_reference": f"{case.speedup:.2f}x",
+                "vs_pre_pr": "-",
+                "verified": case.verified,
+            }
+            if case.pre_pr_wall_s is not None and case.wall_s > 0:
+                row["vs_pre_pr"] = f"{case.pre_pr_wall_s / case.wall_s:.2f}x"
+            rows.append(row)
+            if not case.verified:
+                unverified.append(f"{report.kernel}/{case.name}")
+    print(format_table(rows, title=f"hot-kernel benchmarks ({reports[0].mode})"))
+    if unverified:
+        print(f"ERROR: optimized kernels diverged from reference: {unverified}")
+        return 1
+    if args.store:
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(args.store)
+        written = record_in_store(store, reports)
+        print(f"recorded {written} bench results in {store.path}")
+    if args.baseline:
+        regressions = []
+        for report in reports:
+            baseline_file = Path(args.baseline) / report.filename
+            if not baseline_file.exists():
+                print(f"warning: no baseline {baseline_file}; "
+                      f"{report.kernel} cases not gated")
+                continue
+            regressions.extend(
+                compare_to_baseline(
+                    report,
+                    args.baseline,
+                    args.max_regression,
+                    metric=args.regression_metric,
+                )
+            )
+        if regressions:
+            print(f"REGRESSION vs baseline in {args.baseline} "
+                  f"(threshold {args.max_regression:.1f}x):")
+            for regression in regressions:
+                print(f"  {regression}")
+            return 1
+        print(f"no regression vs baseline in {args.baseline} "
+              f"(threshold {args.max_regression:.1f}x)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="State Skip LFSR test set embedding"
@@ -264,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
     compress_parser.add_argument(
         "--simulate", action="store_true",
         help="replay the clock-level decompressor simulation",
+    )
+    compress_parser.add_argument(
+        "--profile-stats", metavar="PATH",
+        help="run under cProfile and dump binary pstats output to PATH",
     )
     compress_parser.set_defaults(func=_cmd_compress)
 
@@ -325,6 +413,47 @@ def build_parser() -> argparse.ArgumentParser:
     atpg_parser.add_argument("--seed", type=int, default=1)
     atpg_parser.add_argument("--output", help="write the cube file here")
     atpg_parser.set_defaults(func=_cmd_atpg)
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark the hot kernels and write BENCH_*.json"
+    )
+    from repro.perf import KERNELS
+
+    bench_parser.add_argument(
+        "--kernels", nargs="*", choices=list(KERNELS),
+        help="kernels to run (default: all)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="small configurations for CI smoke runs",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="timed repetitions per case, best is kept (default 2)",
+    )
+    bench_parser.add_argument(
+        "--out", default="results",
+        help="directory for the BENCH_*.json reports (default results)",
+    )
+    bench_parser.add_argument(
+        "--baseline", metavar="DIR",
+        help="compare against the BENCH_*.json files in DIR and fail on a "
+             "regression beyond --max-regression",
+    )
+    bench_parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="allowed worsening ratio vs the baseline (default 2.0)",
+    )
+    bench_parser.add_argument(
+        "--regression-metric", choices=["speedup", "wall_s"], default="speedup",
+        help="gate on the machine-normalized speedup-vs-reference (default) "
+             "or on absolute wall time (for a dedicated benchmark host)",
+    )
+    bench_parser.add_argument(
+        "--store", metavar="DIR",
+        help="also append the results to a campaign result store",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     return parser
 
 

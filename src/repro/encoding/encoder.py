@@ -43,6 +43,9 @@ class ReseedingEncoder:
         reproducibility).
     fill_seed:
         RNG seed of the pseudo-random fill of free seed variables.
+    batch_trials:
+        Use the batched/residual-cached solvability scan (default); False
+        selects the unbatched reference scan (bit-identical results).
     """
 
     def __init__(
@@ -54,6 +57,7 @@ class ReseedingEncoder:
         phase_taps: int = 3,
         phase_seed: int = 2008,
         fill_seed: int = 2008,
+        batch_trials: bool = True,
     ):
         if lfsr_size < 2:
             raise ValueError("lfsr_size must be at least 2")
@@ -71,7 +75,9 @@ class ReseedingEncoder:
             architecture=self._architecture,
             window_length=window_length,
         )
-        self._window_encoder = WindowEncoder(self._equations, fill_seed=fill_seed)
+        self._window_encoder = WindowEncoder(
+            self._equations, fill_seed=fill_seed, batch_trials=batch_trials
+        )
 
     # ------------------------------------------------------------------
     # Introspection

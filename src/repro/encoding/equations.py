@@ -32,31 +32,37 @@ import numpy as np
 
 from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import GF2Matrix
+from repro.gf2.solve import _words_to_ints
 from repro.lfsr.phase_shifter import PhaseShifter
+from repro.lfsr.transition import transition_power
 from repro.scan.architecture import ScanArchitecture
 from repro.testdata.cube import TestCube
 
 
 def _matrix_to_numpy(matrix: GF2Matrix) -> np.ndarray:
     """Dense uint8 array of a GF2Matrix (shape nrows x ncols)."""
-    out = np.zeros((matrix.nrows, matrix.ncols), dtype=np.uint8)
-    for i in range(matrix.nrows):
-        row = matrix.row_mask(i)
-        while row:
-            low = row & -row
-            out[i, low.bit_length() - 1] = 1
-            row ^= low
-    return out
+    if matrix.nrows == 0 or matrix.ncols == 0:
+        return np.zeros((matrix.nrows, matrix.ncols), dtype=np.uint8)
+    nbytes = (matrix.ncols + 7) // 8
+    buffer = b"".join(
+        matrix.row_mask(i).to_bytes(nbytes, "little") for i in range(matrix.nrows)
+    )
+    packed = np.frombuffer(buffer, dtype=np.uint8).reshape(matrix.nrows, nbytes)
+    bits = np.unpackbits(packed, axis=1, bitorder="little")
+    return np.ascontiguousarray(bits[:, : matrix.ncols])
 
 
-def _pack_rows_to_ints(rows: np.ndarray) -> List[int]:
-    """Pack an array of 0/1 rows (shape count x n) into Python ints.
+def _gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact GF(2) product of dense 0/1 arrays, via one BLAS sgemm.
 
-    Bit ``j`` of the returned integer is column ``j`` of the row, matching the
-    packing convention of :class:`repro.gf2.bitvec.BitVector`.
+    numpy's integer ``matmul`` is a naive C loop; routing the product
+    through float32 hits BLAS instead and is exact as long as the inner
+    dimension stays below 2**24 (far beyond any LFSR here).
     """
-    packed = np.packbits(rows.astype(np.uint8), axis=-1, bitorder="little")
-    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+    counts = a.astype(np.float32) @ b.astype(np.float32)
+    return (counts.astype(np.uint32) & 1).astype(np.uint8)
+
+
 
 
 class EquationSystem:
@@ -97,9 +103,36 @@ class EquationSystem:
         self._window_length = window_length
         self._lfsr_size = transition.ncols
 
+        # Dense conversions are memoized per EquationSystem: each GF2Matrix
+        # is converted exactly once, no matter how many cube batches or seed
+        # expansions consult it.
+        self._dense_cache: Dict[GF2Matrix, np.ndarray] = {}
         self._cell_rows = self._build_cell_rows()
-        self._position_matrices = self._build_position_matrices()
+        n = self._lfsr_size
+        # float32 forms feed the BLAS-backed GF(2) matmuls of
+        # cube_equations / expand_seeds; built once, reused for every cube.
+        # One buffer backs both: A^(v*r) for all v concatenated column-wise
+        # (one sgemm computes a cube's rows at every position at once), and
+        # its (L, n, n) rearrangement for batched seed expansion is a view.
+        self._cell_rows_f32 = self._cell_rows.astype(np.float32)
+        self._positions_concat_f32 = np.ascontiguousarray(
+            self._build_position_matrices()
+            .transpose(1, 0, 2)
+            .reshape(n, self._window_length * n)
+        ).astype(np.float32)
+        self._position_matrices_f32 = self._positions_concat_f32.reshape(
+            n, self._window_length, n
+        ).transpose(1, 0, 2)
         self._cube_cache: Dict[Tuple[int, int, int], List[List[Tuple[int, int]]]] = {}
+        self._words_cache: Dict[Tuple[int, int, int], Tuple[np.ndarray, int]] = {}
+
+    def _to_numpy(self, matrix: GF2Matrix) -> np.ndarray:
+        """Dense uint8 form of ``matrix``, converted at most once."""
+        cached = self._dense_cache.get(matrix)
+        if cached is None:
+            cached = _matrix_to_numpy(matrix)
+            self._dense_cache[matrix] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Precomputation
@@ -108,15 +141,15 @@ class EquationSystem:
         """Rows ``P[chain(c)] * A^(load_cycle(c))`` for every scan cell."""
         arch = self._architecture
         n = self._lfsr_size
-        phase_np = _matrix_to_numpy(self._phase_shifter.matrix)
-        transition_np = _matrix_to_numpy(self._transition)
+        phase_np = self._to_numpy(self._phase_shifter.matrix)
+        transition_np = self._to_numpy(self._transition)
 
         # chain_rows[t] = P * A^t for every shift cycle t of one vector load.
         chain_rows = np.empty((arch.chain_length, phase_np.shape[0], n), dtype=np.uint8)
         current = phase_np.copy()
         for t in range(arch.chain_length):
             chain_rows[t] = current
-            current = (current @ transition_np) % 2
+            current = _gf2_matmul(current, transition_np)
 
         cell_rows = np.empty((arch.num_cells, n), dtype=np.uint8)
         for cell in range(arch.num_cells):
@@ -128,12 +161,12 @@ class EquationSystem:
     def _build_position_matrices(self) -> np.ndarray:
         """``A^(v*r)`` for every window position ``v`` (shape L x n x n)."""
         n = self._lfsr_size
-        per_vector = self._transition.power(self._architecture.chain_length)
-        per_vector_np = _matrix_to_numpy(per_vector)
+        per_vector = transition_power(self._transition, self._architecture.chain_length)
+        per_vector_np = self._to_numpy(per_vector)
         matrices = np.empty((self._window_length, n, n), dtype=np.uint8)
         matrices[0] = np.eye(n, dtype=np.uint8)
         for v in range(1, self._window_length):
-            matrices[v] = (matrices[v - 1] @ per_vector_np) % 2
+            matrices[v] = _gf2_matmul(matrices[v - 1], per_vector_np)
         return matrices
 
     # ------------------------------------------------------------------
@@ -162,6 +195,57 @@ class EquationSystem:
     # ------------------------------------------------------------------
     # Equations
     # ------------------------------------------------------------------
+    def cube_position_words(self, cube: TestCube) -> Tuple[np.ndarray, int]:
+        """A cube's augmented equation rows for every position, packed.
+
+        Returns ``(words, rows_per_position)`` where ``words`` is an
+        ``(L * s, num_words)`` uint64 block -- ``s`` consecutive augmented
+        rows (RHS packed as bit ``n``) per window position, in position
+        order -- ready for
+        :meth:`repro.gf2.solve.IncrementalSolver.try_positions_packed`.
+        Cached per cube: the rows depend only on the hardware, so every
+        seed (and every encoder sharing this system) reuses the same block.
+        Treat the returned array as immutable.
+        """
+        if cube.num_cells != self._architecture.num_cells:
+            raise ValueError(
+                f"cube width {cube.num_cells} does not match the scan "
+                f"architecture ({self._architecture.num_cells} cells)"
+            )
+        key = (cube.num_cells, cube.care_mask, cube.care_value)
+        cached = self._words_cache.get(key)
+        if cached is not None:
+            return cached
+
+        n = self._lfsr_size
+        window = self._window_length
+        cells = cube.specified_cells()
+        num_rows = len(cells)
+        rhs = np.array([(cube.care_value >> c) & 1 for c in cells], dtype=np.uint8)
+        spec_rows = self._cell_rows_f32[cells]  # (s, n)
+        # rows_all[v, i] = spec_rows[i] @ A^(v*r) for every position v -- all
+        # positions in a single BLAS product against the concatenated
+        # position matrices (exact: inner-dimension sums stay < 2**24).
+        counts = spec_rows @ self._positions_concat_f32  # (s, L*n)
+        rows_all = (
+            (counts.astype(np.uint32) & 1)
+            .astype(np.uint8)
+            .reshape(num_rows, window, n)
+            .swapaxes(0, 1)
+        )  # (L, s, n)
+        augmented = np.concatenate(
+            [rows_all, np.broadcast_to(rhs, (window, num_rows))[:, :, None]],
+            axis=2,
+        )
+        packed = np.packbits(augmented, axis=2, bitorder="little")
+        num_words = (n + 1 + 63) // 64
+        buffer = np.zeros((window, num_rows, num_words * 8), dtype=np.uint8)
+        buffer[:, :, : packed.shape[2]] = packed
+        words = buffer.view("<u8").reshape(window * num_rows, num_words)
+        result = (words, num_rows)
+        self._words_cache[key] = result
+        return result
+
     def cube_equations(self, cube: TestCube) -> List[List[Tuple[int, int]]]:
         """Packed equations of a cube for every window position.
 
@@ -170,35 +254,36 @@ class EquationSystem:
         cached per cube (the equations depend only on the hardware, not on
         any seed), so repeated queries across seeds are free.
         """
-        if cube.num_cells != self._architecture.num_cells:
-            raise ValueError(
-                f"cube width {cube.num_cells} does not match the scan "
-                f"architecture ({self._architecture.num_cells} cells)"
-            )
         key = (cube.num_cells, cube.care_mask, cube.care_value)
         cached = self._cube_cache.get(key)
         if cached is not None:
             return cached
-
-        cells = cube.specified_cells()
-        rhs = [(cube.care_value >> c) & 1 for c in cells]
-        spec_rows = self._cell_rows[cells]  # (s, n)
-        # rows_all[v, i] = spec_rows[i] @ A^(v*r)  for every position v.
-        rows_all = np.matmul(
-            spec_rows[np.newaxis, :, :], self._position_matrices
-        ) % 2  # (L, s, n)
-        equations: List[List[Tuple[int, int]]] = []
-        for v in range(self._window_length):
-            masks = _pack_rows_to_ints(rows_all[v])
-            equations.append(list(zip(masks, rhs)))
+        equations = [
+            self._position_equations(cube, v) for v in range(self._window_length)
+        ]
         self._cube_cache[key] = equations
         return equations
 
     def cube_equations_at(self, cube: TestCube, position: int) -> List[Tuple[int, int]]:
-        """Equations of a cube at one window position."""
+        """Equations of a cube at one window position.
+
+        Unlike :meth:`cube_equations` this does not materialise (or cache)
+        the per-position pair lists of the whole window.
+        """
         if not 0 <= position < self._window_length:
             raise IndexError(f"window position {position} out of range")
-        return self.cube_equations(cube)[position]
+        key = (cube.num_cells, cube.care_mask, cube.care_value)
+        cached = self._cube_cache.get(key)
+        if cached is not None:
+            return cached[position]
+        return self._position_equations(cube, position)
+
+    def _position_equations(self, cube: TestCube, position: int) -> List[Tuple[int, int]]:
+        """The ``(mask, rhs)`` pairs of one position, from the packed words."""
+        words, num_rows = self.cube_position_words(cube)
+        rows = _words_to_ints(words[position * num_rows : (position + 1) * num_rows])
+        rhs_bit = 1 << self._lfsr_size
+        return [(aug & (rhs_bit - 1), 1 if aug & rhs_bit else 0) for aug in rows]
 
     # ------------------------------------------------------------------
     # Seed expansion
@@ -229,14 +314,28 @@ class EquationSystem:
                 value ^= low
 
         num_seeds = len(seeds)
+        num_cells = self._architecture.num_cells
+        # LFSR state at the start of every vector, for every seed, then the
+        # scanned cell bits -- two batched BLAS products with a mod-2
+        # reduction in between (operands must be 0/1 for exactness).  The
+        # window dimension is processed in chunks so the intermediate
+        # (chunk, cells, seeds) tensors stay bounded (~16 MB of float32)
+        # for large windows/cores instead of materialising all L at once.
+        seed_cols_f32 = seed_cols.astype(np.float32)
+        chunk = max(1, 4_000_000 // max(1, num_cells * num_seeds))
         out: List[List[int]] = [[] for _ in range(num_seeds)]
-        for v in range(self._window_length):
-            # LFSR state at the start of vector v, for every seed.
-            states = (self._position_matrices[v] @ seed_cols) % 2  # (n, seeds)
-            cell_bits = (self._cell_rows @ states) % 2  # (cells, seeds)
-            packed = np.packbits(cell_bits, axis=0, bitorder="little")
-            for j in range(num_seeds):
-                out[j].append(int.from_bytes(packed[:, j].tobytes(), "little"))
+        for start in range(0, self._window_length, chunk):
+            positions = self._position_matrices_f32[start : start + chunk]
+            states = np.matmul(positions, seed_cols_f32)  # (chunk, n, seeds)
+            states = (states.astype(np.uint32) & 1).astype(np.float32)
+            cell_bits = np.matmul(self._cell_rows_f32, states)
+            cell_bits = (cell_bits.astype(np.uint32) & 1).astype(np.uint8)
+            packed = np.packbits(cell_bits, axis=1, bitorder="little")
+            for v in range(packed.shape[0]):
+                for j in range(num_seeds):
+                    out[j].append(
+                        int.from_bytes(packed[v, :, j].tobytes(), "little")
+                    )
         return out
 
     def vector_at(self, seed: BitVector, position: int) -> List[int]:
@@ -249,5 +348,6 @@ class EquationSystem:
         return cube.matches_vector(self.expand_seed(seed)[position])
 
     def clear_cache(self) -> None:
-        """Drop the per-cube equation cache (memory housekeeping)."""
+        """Drop the per-cube equation caches (memory housekeeping)."""
         self._cube_cache.clear()
+        self._words_cache.clear()

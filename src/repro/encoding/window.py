@@ -23,12 +23,21 @@ one the paper adopts from reference [11]:
    closed: free variables are filled with pseudo-random values and the next
    seed is started.
 
-The expensive step is the solvability scan.  Two observations keep it
+The expensive step is the solvability scan.  Three observations keep it
 tractable in pure Python: committed constraints only ever grow within a seed,
 so a position found unsolvable for a cube stays unsolvable for that seed and
-is never re-checked; and the per-(cube, position) equations depend only on
-the hardware, so they are computed once (in a numpy batch per cube) and
-cached by the :class:`~repro.encoding.equations.EquationSystem`.
+is never re-checked; the per-(cube, position) equations depend only on the
+hardware, so they are computed once (in a numpy batch per cube) and cached by
+the :class:`~repro.encoding.equations.EquationSystem`; and a trial's residual
+rows are themselves valid trial input, so the scan caches each cube's
+equations *reduced against the committed basis* and every later selection
+step only pays for the pivots committed since (see
+:meth:`~repro.gf2.solve.IncrementalSolver.try_augmented`).  The first scan of
+a cube within a seed reduces all window positions in one numpy batch
+(:meth:`~repro.gf2.solve.IncrementalSolver.try_positions`).  Constructing the
+encoder with ``batch_trials=False`` restores the original re-reduce-from-
+scratch scan; the two produce bit-identical results (the golden-equivalence
+test relies on this).
 """
 
 from __future__ import annotations
@@ -37,7 +46,9 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.gf2.solve import IncrementalSolver, TrialResult
+import numpy as np
+
+from repro.gf2.solve import IncrementalSolver, SolveOutcome, TrialResult
 from repro.encoding.equations import EquationSystem
 from repro.encoding.results import CubeEmbedding, EncodingResult, SeedRecord
 from repro.testdata.test_set import TestSet
@@ -75,11 +86,21 @@ class WindowEncoder:
         Seed of the pseudo-random filler used for the free seed variables
         (the paper fills don't-cares with pseudo-random data; a fixed seed
         keeps every run reproducible).
+    batch_trials:
+        Use the batched/residual-cached solvability scan (default).  False
+        restores the unbatched reference scan; results are bit-identical
+        either way.
     """
 
-    def __init__(self, equations: EquationSystem, fill_seed: int = 2008):
+    def __init__(
+        self,
+        equations: EquationSystem,
+        fill_seed: int = 2008,
+        batch_trials: bool = True,
+    ):
         self._equations = equations
         self._fill_seed = fill_seed
+        self._batch_trials = batch_trials
 
     @property
     def equations(self) -> EquationSystem:
@@ -97,9 +118,18 @@ class WindowEncoder:
                 f"architecture ({arch.num_cells} cells)"
             )
         cubes = test_set.cubes
-        cube_equations = [self._equations.cube_equations(cube) for cube in cubes]
+        if self._batch_trials:
+            # The hot path works on the packed per-cube row blocks; only the
+            # position-0 pair lists are materialised (precheck, first cube).
+            cube_equations = None
+            position0 = [
+                self._equations.cube_equations_at(cube, 0) for cube in cubes
+            ]
+        else:
+            cube_equations = [self._equations.cube_equations(cube) for cube in cubes]
+            position0 = [equations[0] for equations in cube_equations]
         spec_counts = [cube.specified_count() for cube in cubes]
-        self._precheck_encodability(cube_equations)
+        self._precheck_encodability(position0)
 
         remaining = set(range(len(cubes)))
         seeds: List[SeedRecord] = []
@@ -107,7 +137,9 @@ class WindowEncoder:
             record = self._build_seed(
                 seed_index=len(seeds),
                 remaining=remaining,
+                cubes=cubes,
                 cube_equations=cube_equations,
+                position0=position0,
                 spec_counts=spec_counts,
             )
             if not record.embeddings:
@@ -133,7 +165,7 @@ class WindowEncoder:
         )
 
     def _precheck_encodability(
-        self, cube_equations: List[List[List[Tuple[int, int]]]]
+        self, position0: List[List[Tuple[int, int]]]
     ) -> None:
         """Fail fast on cubes that no seed can ever encode.
 
@@ -146,9 +178,9 @@ class WindowEncoder:
         instead of after a long encoding run.
         """
         unencodable = []
-        for cube_index, equations in enumerate(cube_equations):
+        for cube_index, equations in enumerate(position0):
             solver = IncrementalSolver(self._equations.lfsr_size)
-            if not solver.try_masks(equations[0]).consistent:
+            if not solver.try_masks(equations).consistent:
                 unencodable.append(cube_index)
         if unencodable:
             raise EncodingError(
@@ -165,7 +197,9 @@ class WindowEncoder:
         self,
         seed_index: int,
         remaining: set,
-        cube_equations: List[List[List[Tuple[int, int]]]],
+        cubes: List,
+        cube_equations: Optional[List[List[List[Tuple[int, int]]]]],
+        position0: List[List[Tuple[int, int]]],
         spec_counts: List[int],
     ) -> SeedRecord:
         solver = IncrementalSolver(self._equations.lfsr_size)
@@ -174,8 +208,12 @@ class WindowEncoder:
         encoded_here: set = set()
         # Positions still possibly solvable for each cube, for *this* seed.
         open_positions: Dict[int, List[int]] = {}
+        # Per-cube trials with equations reduced against the committed basis,
+        # tagged with the solver epoch and pivot mask that produced them
+        # (refreshed lazily; see _scan_positions).  Reset per seed.
+        residuals: Dict[int, Tuple[int, int, Dict[int, Tuple[TrialResult, int]]]] = {}
 
-        first = self._select_first_cube(solver, remaining, cube_equations, spec_counts)
+        first = self._select_first_cube(solver, remaining, position0, spec_counts)
         if first is not None:
             cube_index, trial = first
             solver.commit(trial)
@@ -187,10 +225,12 @@ class WindowEncoder:
                 solver,
                 remaining,
                 encoded_here,
+                cubes,
                 cube_equations,
                 spec_counts,
                 open_positions,
                 window,
+                residuals,
             )
             if candidate is None:
                 break
@@ -198,6 +238,7 @@ class WindowEncoder:
             embeddings.append(CubeEmbedding(candidate.cube_index, candidate.position))
             encoded_here.add(candidate.cube_index)
             open_positions.pop(candidate.cube_index, None)
+            residuals.pop(candidate.cube_index, None)
 
         seed_value = solver.solution(free_fill=self._free_fill(seed_index))
         return SeedRecord(index=seed_index, seed=seed_value, embeddings=embeddings)
@@ -206,13 +247,13 @@ class WindowEncoder:
         self,
         solver: IncrementalSolver,
         remaining: set,
-        cube_equations: List[List[List[Tuple[int, int]]]],
+        position0: List[List[Tuple[int, int]]],
         spec_counts: List[int],
     ) -> Optional[Tuple[int, TrialResult]]:
         """The densest remaining cube solvable at window position 0."""
         order = sorted(remaining, key=lambda i: (-spec_counts[i], i))
         for cube_index in order:
-            trial = solver.try_masks(cube_equations[cube_index][0])
+            trial = solver.try_masks(position0[cube_index])
             if trial.consistent:
                 return cube_index, trial
         return None
@@ -222,10 +263,12 @@ class WindowEncoder:
         solver: IncrementalSolver,
         remaining: set,
         encoded_here: set,
-        cube_equations: List[List[List[Tuple[int, int]]]],
+        cubes: List,
+        cube_equations: Optional[List[List[List[Tuple[int, int]]]]],
         spec_counts: List[int],
         open_positions: Dict[int, List[int]],
         window: int,
+        residuals: Dict[int, Tuple[int, int, Dict[int, Tuple[TrialResult, int]]]],
     ) -> Optional[_Candidate]:
         """One selection step of the greedy algorithm (criteria a-c)."""
         pending = [i for i in remaining if i not in encoded_here]
@@ -242,9 +285,16 @@ class WindowEncoder:
                 positions = open_positions.setdefault(cube_index, list(range(window)))
                 solvable: List[Tuple[int, TrialResult]] = []
                 still_open: List[int] = []
-                equations = cube_equations[cube_index]
-                for position in positions:
-                    trial = solver.try_masks(equations[position])
+                if self._batch_trials:
+                    trials = self._scan_positions(
+                        solver, cubes[cube_index], positions, residuals, cube_index
+                    )
+                else:
+                    equations = cube_equations[cube_index]
+                    trials = [
+                        solver.try_masks(equations[position]) for position in positions
+                    ]
+                for position, trial in zip(positions, trials):
                     if trial.consistent:
                         solvable.append((position, trial))
                         still_open.append(position)
@@ -261,6 +311,74 @@ class WindowEncoder:
             if candidates:
                 return self._pick(candidates)
         return None
+
+    def _scan_positions(
+        self,
+        solver: IncrementalSolver,
+        cube,
+        positions: List[int],
+        residuals: Dict[int, Tuple[int, int, Dict[int, Tuple[TrialResult, int]]]],
+        cube_index: int,
+    ) -> List[TrialResult]:
+        """Solvability trials for a cube's open positions, residual-cached.
+
+        The first scan of a cube within a seed reduces every position's
+        hardware equations against the committed basis in one batched numpy
+        pass.  Later scans re-try the cached *residual* rows, which only
+        pays for pivots committed since the previous scan -- and positions
+        whose residual support misses every newly committed pivot column
+        (or all of them, when the solver epoch has not advanced) are reused
+        without touching the solver at all.  Inconsistent positions never
+        recover within a seed, so their residuals (and open slots) are
+        dropped by the caller.
+        """
+        cached = residuals.get(cube_index)
+        if cached is not None and cached[0] == solver.epoch:
+            return [cached[2][position][0] for position in positions]
+        entries: Dict[int, Tuple[TrialResult, int]] = {}
+        if cached is None:
+            words, rows_each = self._equations.cube_position_words(cube)
+            if rows_each == 0:
+                trials = [
+                    TrialResult(SolveOutcome.CONSISTENT, 0, []) for _ in positions
+                ]
+                entries = {
+                    position: (trial, 0)
+                    for position, trial in zip(positions, trials)
+                }
+                residuals[cube_index] = (solver.epoch, solver.pivot_mask, entries)
+                return trials
+            if len(positions) != self._equations.window_length:
+                rows = np.concatenate(
+                    [
+                        np.arange(p * rows_each, (p + 1) * rows_each)
+                        for p in positions
+                    ]
+                )
+                words = words[rows]
+            trials = solver.try_positions_packed(words, rows_each)
+        else:
+            # Only the pivot columns committed since the cached scan can
+            # change a trial; a residual batch whose support misses all of
+            # them would reduce to itself, so reuse the cached trial as-is.
+            delta = solver.pivot_mask & ~cached[1]
+            old_entries = cached[2]
+            trials = []
+            for position in positions:
+                trial, support = old_entries[position]
+                if support & delta:
+                    trial = solver.try_augmented(trial.reduced_rows)
+                else:
+                    entries[position] = (trial, support)
+                trials.append(trial)
+        for position, trial in zip(positions, trials):
+            if position not in entries and trial.consistent:
+                support = 0
+                for row in trial.reduced_rows:
+                    support |= row
+                entries[position] = (trial, support)
+        residuals[cube_index] = (solver.epoch, solver.pivot_mask, entries)
+        return trials
 
     @staticmethod
     def _pick(candidates: List[_Candidate]) -> _Candidate:

@@ -24,7 +24,34 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.gf2.bitvec import BitVector
+
+#: Below this total row count the packed-``uint64`` batch path costs more
+#: than it saves and :meth:`IncrementalSolver.try_positions` falls back to
+#: the big-int loop (tuned with ``repro bench``).
+_BATCH_MIN_ROWS = 64
+
+def _pack_ints_to_words(rows: Sequence[int], num_words: int) -> np.ndarray:
+    """Pack big-int rows into a ``(len(rows), num_words)`` uint64 array."""
+    if num_words == 1:
+        return np.fromiter(rows, dtype=np.uint64, count=len(rows)).reshape(-1, 1)
+    nbytes = num_words * 8
+    buffer = b"".join(row.to_bytes(nbytes, "little") for row in rows)
+    return np.frombuffer(buffer, dtype="<u8").reshape(len(rows), num_words).copy()
+
+
+def _words_to_ints(words: np.ndarray) -> List[int]:
+    """Inverse of :func:`_pack_ints_to_words` (row-wise)."""
+    if words.shape[1] == 1:
+        return words[:, 0].tolist()
+    data = words.astype("<u8", copy=False).tobytes()
+    nbytes = words.shape[1] * 8
+    return [
+        int.from_bytes(data[i * nbytes : (i + 1) * nbytes], "little")
+        for i in range(words.shape[0])
+    ]
 
 
 @dataclass(frozen=True)
@@ -94,6 +121,11 @@ class IncrementalSolver:
         self._rhs_bit = 1 << num_variables
         # pivot column -> augmented row with that pivot
         self._pivots: Dict[int, int] = {}
+        # Bumped on every state change; lets derived caches (the packed
+        # fully-reduced basis, callers' residual caches) know when to refresh.
+        self._epoch = 0
+        self._pivot_mask = 0
+        self._packed_basis: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -112,6 +144,27 @@ class IncrementalSolver:
         """Number of variables not yet pinned by any committed equation."""
         return self._n - len(self._pivots)
 
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter of committed state changes.
+
+        Residuals produced by a trial stay *valid trial inputs* forever (the
+        basis only grows), but reducing them again is only worthwhile when
+        the epoch has advanced; callers use this to key their caches.
+        """
+        return self._epoch
+
+    @property
+    def pivot_mask(self) -> int:
+        """OR of ``1 << pivot`` over all committed pivot columns.
+
+        Re-trying a cached residual batch is the identity whenever the batch
+        support does not intersect the pivot columns committed since the
+        batch was produced -- callers compare snapshots of this mask to skip
+        such no-op trials entirely.
+        """
+        return self._pivot_mask
+
     def pivot_columns(self) -> List[int]:
         """Sorted list of pivot variable indices."""
         return sorted(self._pivots)
@@ -120,6 +173,8 @@ class IncrementalSolver:
         """An independent copy of the solver state."""
         clone = IncrementalSolver(self._n)
         clone._pivots = dict(self._pivots)
+        clone._epoch = self._epoch
+        clone._pivot_mask = self._pivot_mask
         return clone
 
     # ------------------------------------------------------------------
@@ -164,26 +219,32 @@ class IncrementalSolver:
     # ------------------------------------------------------------------
     def try_equations(self, equations: Iterable[Equation]) -> TrialResult:
         """Evaluate a batch of equations without committing them."""
-        extra: Dict[int, int] = {}
-        for eq in equations:
-            aug = (eq.coeffs & (self._rhs_bit - 1)) | (self._rhs_bit if eq.rhs else 0)
-            aug = self._reduce(aug, extra)
-            if aug == self._rhs_bit:
-                return TrialResult(SolveOutcome.INCONSISTENT, 0, [])
-            if aug == 0:
-                continue
-            pivot = (aug & ~self._rhs_bit).bit_length() - 1
-            extra[pivot] = aug
-        return TrialResult(
-            SolveOutcome.CONSISTENT, len(extra), list(extra.values())
+        rhs_bit = self._rhs_bit
+        return self.try_augmented(
+            (eq.coeffs & (rhs_bit - 1)) | (rhs_bit if eq.rhs else 0)
+            for eq in equations
         )
 
     def try_masks(self, masks_and_rhs: Iterable[Tuple[int, int]]) -> TrialResult:
         """Fast-path version of :meth:`try_equations` taking packed pairs."""
+        rhs_bit = self._rhs_bit
+        return self.try_augmented(
+            (coeffs & (rhs_bit - 1)) | (rhs_bit if rhs else 0)
+            for coeffs, rhs in masks_and_rhs
+        )
+
+    def try_augmented(self, aug_rows: Iterable[int]) -> TrialResult:
+        """Trial evaluation of pre-augmented rows (RHS packed as bit ``n``).
+
+        Accepts the residual rows of an earlier :class:`TrialResult`
+        unchanged: residuals are already reduced against the basis of the
+        epoch that produced them, so re-trying them after further commits
+        only pays for the *newly* committed pivots -- this is what makes the
+        encoder's per-epoch residual cache incremental.
+        """
         extra: Dict[int, int] = {}
         rhs_bit = self._rhs_bit
-        for coeffs, rhs in masks_and_rhs:
-            aug = (coeffs & (rhs_bit - 1)) | (rhs_bit if rhs else 0)
+        for aug in aug_rows:
             aug = self._reduce(aug, extra)
             if aug == rhs_bit:
                 return TrialResult(SolveOutcome.INCONSISTENT, 0, [])
@@ -195,6 +256,124 @@ class IncrementalSolver:
             SolveOutcome.CONSISTENT, len(extra), list(extra.values())
         )
 
+    # ------------------------------------------------------------------
+    # Batched trials (numpy-packed uint64 fast path)
+    # ------------------------------------------------------------------
+    def _packed_full_basis(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The fully reduced basis as ``(pivot_columns, uint64 row blocks)``.
+
+        Cached per epoch; both arrays are treated as immutable by callers.
+        """
+        cached = self._packed_basis
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1], cached[2]
+        reduced = self._fully_reduced_rows()
+        pivot_cols = np.array(sorted(reduced), dtype=np.int64)
+        num_words = (self._n + 1 + 63) // 64
+        rows = _pack_ints_to_words([reduced[p] for p in sorted(reduced)], num_words)
+        self._packed_basis = (self._epoch, pivot_cols, rows)
+        return pivot_cols, rows
+
+    def try_positions(
+        self, position_rows: Sequence[Sequence[int]]
+    ) -> List[TrialResult]:
+        """Trial-evaluate many candidate systems against the same basis.
+
+        ``position_rows[v]`` is the augmented-row batch of candidate ``v``
+        (for the window encoder: one batch per window position of a cube).
+        Equivalent to ``[self.try_augmented(rows) for rows in position_rows]``
+        but runs the whole computation -- committed-basis reduction *and* the
+        per-candidate elimination -- as vectorized passes over numpy-packed
+        uint64 row blocks.  Tiny or ragged batches fall back to the big-int
+        path.
+        """
+        num_candidates = len(position_rows)
+        if num_candidates == 0:
+            return []
+        rows_each = len(position_rows[0])
+        if rows_each == 0 or any(len(rows) != rows_each for rows in position_rows):
+            return [self.try_augmented(rows) for rows in position_rows]
+        num_words = (self._n + 1 + 63) // 64
+        flat: List[int] = []
+        for rows in position_rows:
+            flat.extend(rows)
+        return self.try_positions_packed(
+            _pack_ints_to_words(flat, num_words), rows_each
+        )
+
+    def try_positions_packed(
+        self, words: np.ndarray, rows_each: int
+    ) -> List[TrialResult]:
+        """:meth:`try_positions` on pre-packed uint64 row blocks.
+
+        ``words`` holds the augmented rows of all candidates, ``rows_each``
+        consecutive rows per candidate; the array is not modified (callers
+        cache it across seeds -- see
+        :meth:`repro.encoding.equations.EquationSystem.cube_position_words`).
+        """
+        total_rows = words.shape[0]
+        if rows_each <= 0 or total_rows % rows_each:
+            raise ValueError(
+                f"row count {total_rows} is not a multiple of rows_each "
+                f"({rows_each})"
+            )
+        num_candidates = total_rows // rows_each
+        if total_rows < _BATCH_MIN_ROWS:
+            ints = _words_to_ints(words)
+            return [
+                self.try_augmented(ints[base : base + rows_each])
+                for base in range(0, total_rows, rows_each)
+            ]
+        words = words.copy()
+
+        # Pass 1: eliminate every committed pivot column.  The basis is kept
+        # fully reduced (each pivot column appears in exactly one basis row),
+        # so the eliminations are independent and order does not matter; the
+        # result is the canonical residual with *all* pivot columns zeroed.
+        if self._pivots:
+            pivot_cols, basis = self._packed_full_basis()
+            word_index = pivot_cols >> 6
+            bit_offset = (pivot_cols & 63).astype(np.uint64)
+            for j in range(len(pivot_cols)):
+                selected = (words[:, word_index[j]] >> bit_offset[j]) & np.uint64(1)
+                words ^= selected[:, None] * basis[j]
+        reduced_flat = _words_to_ints(words)
+
+        # Pass 2: per-candidate elimination on the residuals.  Committed
+        # pivot columns are gone, so only the candidate's own (few) batch
+        # pivots participate; the loop is ``try_augmented`` inlined to skip
+        # the per-row call overhead, which dominates at this batch size.
+        rhs_bit = self._rhs_bit
+        not_rhs = ~rhs_bit
+        results: List[TrialResult] = []
+        base = 0
+        for _ in range(num_candidates):
+            extra: Dict[int, int] = {}
+            consistent = True
+            for aug in reduced_flat[base : base + rows_each]:
+                coeffs = aug & not_rhs
+                while coeffs:
+                    row = extra.get(coeffs.bit_length() - 1)
+                    if row is None:
+                        break
+                    aug ^= row
+                    coeffs = aug & not_rhs
+                if coeffs:
+                    extra[coeffs.bit_length() - 1] = aug
+                elif aug:
+                    consistent = False
+                    break
+            base += rows_each
+            if consistent:
+                results.append(
+                    TrialResult(
+                        SolveOutcome.CONSISTENT, len(extra), list(extra.values())
+                    )
+                )
+            else:
+                results.append(TrialResult(SolveOutcome.INCONSISTENT, 0, []))
+        return results
+
     def commit(self, trial: TrialResult) -> None:
         """Commit a previously evaluated consistent batch.
 
@@ -204,6 +383,7 @@ class IncrementalSolver:
         """
         if not trial.consistent:
             raise ValueError("cannot commit an inconsistent trial")
+        changed = False
         for aug in trial.reduced_rows:
             row = self._reduce(aug)
             if row == self._rhs_bit:
@@ -212,6 +392,10 @@ class IncrementalSolver:
                 continue
             pivot = (row & ~self._rhs_bit).bit_length() - 1
             self._pivots[pivot] = row
+            self._pivot_mask |= 1 << pivot
+            changed = True
+        if changed:
+            self._epoch += 1
 
     def add_equations(self, equations: Iterable[Equation]) -> TrialResult:
         """Evaluate and, if consistent, immediately commit a batch."""

@@ -19,11 +19,14 @@ from repro.lfsr.lfsr import LFSR, LFSRMode
 from repro.lfsr.phase_shifter import PhaseShifter
 from repro.lfsr.state_skip import StateSkipCircuit, StateSkipLFSR
 from repro.lfsr.transition import (
+    TransitionPowerCache,
     fibonacci_transition_matrix,
     galois_transition_matrix,
     paper_example_matrix,
+    power_cache,
     state_skip_expressions,
     symbolic_states,
+    transition_power,
 )
 
 __all__ = [
@@ -32,9 +35,12 @@ __all__ = [
     "PhaseShifter",
     "StateSkipCircuit",
     "StateSkipLFSR",
+    "TransitionPowerCache",
     "fibonacci_transition_matrix",
     "galois_transition_matrix",
     "paper_example_matrix",
+    "power_cache",
     "state_skip_expressions",
     "symbolic_states",
+    "transition_power",
 ]

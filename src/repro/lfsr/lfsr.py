@@ -21,6 +21,7 @@ from repro.gf2.primitive import default_feedback_polynomial
 from repro.lfsr.transition import (
     fibonacci_transition_matrix,
     galois_transition_matrix,
+    transition_power,
 )
 
 
@@ -163,7 +164,9 @@ class LFSR:
         """Advance by ``cycles`` using matrix exponentiation (O(log cycles))."""
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
-        self._state = self._transition.power(cycles).mul_vector(self._state)
+        self._state = transition_power(self._transition, cycles).mul_vector(
+            self._state
+        )
         return self._state
 
     def states(self, count: int) -> Iterator[BitVector]:

@@ -131,3 +131,118 @@ class TestAtpgCommand:
         code = main(["atpg", "--inputs", "10", "--gates", "30", "--seed", "4"])
         assert code == 0
         assert "collapsed faults" in capsys.readouterr().out
+
+
+class TestProfileStats:
+    def test_compress_dumps_cprofile_stats(self, cube_file, tmp_path, capsys):
+        stats_path = tmp_path / "compress.pstats"
+        code = main(
+            [
+                "compress",
+                "--tests",
+                str(cube_file),
+                "--chains",
+                "8",
+                "-L",
+                "20",
+                "-S",
+                "4",
+                "-k",
+                "6",
+                "--profile-stats",
+                str(stats_path),
+            ]
+        )
+        assert code == 0
+        assert stats_path.exists()
+        out = capsys.readouterr().out
+        assert "profile written to" in out
+        assert "State Skip LFSR compression" in out
+        # The dump must be loadable by the pstats machinery.
+        import pstats
+
+        stats = pstats.Stats(str(stats_path))
+        assert stats.total_calls > 0
+
+
+class TestBenchCommand:
+    def test_bench_quick_writes_reports(self, tmp_path, capsys):
+        out_dir = tmp_path / "bench"
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--out",
+                str(out_dir),
+                "--store",
+                str(store_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot-kernel benchmarks" in out
+        import json
+
+        encoding = json.loads((out_dir / "BENCH_encoding.json").read_text())
+        faultsim = json.loads((out_dir / "BENCH_faultsim.json").read_text())
+        assert encoding["kernel"] == "encoding" and encoding["cases"]
+        assert faultsim["kernel"] == "faultsim" and faultsim["cases"]
+        for case in encoding["cases"] + faultsim["cases"]:
+            assert case["verified"] is True
+            assert case["wall_s"] > 0
+            assert case["throughput"] > 0
+        # Results land in the campaign store with elapsed_s populated.
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(store_dir)
+        records = store.records()
+        assert len(records) == len(encoding["cases"]) + len(faultsim["cases"])
+        assert all(record.elapsed_s > 0 for record in records)
+
+        # Self-comparison against the report just written: no regression.
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--kernels",
+                "faultsim",
+                "--out",
+                str(tmp_path / "second"),
+                "--baseline",
+                str(out_dir),
+                "--max-regression",
+                "1000",
+            ]
+        )
+        assert code == 0
+        assert "no regression" in capsys.readouterr().out
+
+        # An impossibly good baseline must trip the regression gate.
+        doctored = dict(faultsim)
+        doctored["cases"] = [
+            dict(case, speedup=1e9, wall_s=1e-9) for case in faultsim["cases"]
+        ]
+        strict_dir = tmp_path / "strict"
+        strict_dir.mkdir()
+        (strict_dir / "BENCH_faultsim.json").write_text(json.dumps(doctored))
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--kernels",
+                "faultsim",
+                "--out",
+                str(tmp_path / "third"),
+                "--baseline",
+                str(strict_dir),
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
