@@ -45,6 +45,7 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CompressionConfig",
+    "CompressionContext",
     "CompressionReport",
     "ResultStore",
     "compress",
@@ -53,6 +54,7 @@ __all__ = [
 
 _LAZY_EXPORTS = {
     "CompressionConfig": ("repro.config", "CompressionConfig"),
+    "CompressionContext": ("repro.context", "CompressionContext"),
     "CompressionReport": ("repro.pipeline", "CompressionReport"),
     "compress": ("repro.pipeline", "compress"),
     "CampaignSpec": ("repro.campaign.spec", "CampaignSpec"),

@@ -1,4 +1,4 @@
-"""Parallel campaign execution with resume.
+"""Parallel campaign execution with resume and substrate sharing.
 
 The :class:`CampaignRunner` expands a :class:`~repro.campaign.spec.CampaignSpec`
 into jobs, skips every job whose result key already has a successful record
@@ -10,12 +10,24 @@ Design notes
 * Each *source* (profile or cube file) is materialised exactly once in the
   parent process; workers receive the serialised cube text, so synthetic
   generation is never repeated per job and file sources need no re-read.
-* Jobs are submitted and collected in deterministic spec order; the store
+* Jobs are **grouped by encode key** -- (source, encode-relevant config
+  fields; see :meth:`repro.config.CompressionConfig.encode_cache_key`) --
+  and each group runs on one worker with a shared
+  :class:`~repro.context.CompressionContext`.  The first job of a group
+  builds the substrate (:class:`~repro.encoding.equations.EquationSystem`,
+  phase shifter) and computes the seeds; every (S, k) grid neighbour in the
+  group reuses both through the context cache and only pays for its own
+  reduction.  When there are fewer groups than workers, the largest groups
+  are split so no worker idles (each chunk re-encodes once -- on capacity
+  that would otherwise sit unused).  Per-stage wall times and cache
+  hit/miss counts are surfaced in each :class:`JobOutcome` and persisted
+  with the stored record.
+* Groups are submitted and collected in deterministic spec order; the store
   is appended only by the parent, so no file locking is needed.
 * Per-job failures are captured as records (status ``error``) instead of
-  aborting the campaign; a timed-out job is reported (status ``timeout``)
-  and the pool is terminated at the end so stragglers cannot outlive the
-  campaign.
+  aborting the campaign; a timed-out group is reported (status ``timeout``
+  for each of its jobs) and the pool is terminated at the end so stragglers
+  cannot outlive the campaign.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -35,6 +48,7 @@ from repro.campaign.store import (
     result_key,
 )
 from repro.config import CompressionConfig
+from repro.context import CompressionContext, ContextStats
 from repro.pipeline import compress
 from repro.testdata.test_set import TestSet
 
@@ -45,7 +59,17 @@ STATUS_TIMEOUT = "timeout"
 
 @dataclass
 class JobOutcome:
-    """What happened to one job during :meth:`CampaignRunner.run`."""
+    """What happened to one job during :meth:`CampaignRunner.run`.
+
+    ``stage_timings`` maps pipeline stage names (``encode`` / ``reduce`` /
+    ``hardware`` plus the context-internal ``substrate_build`` /
+    ``expand_seeds``) to the wall seconds *this job* spent in them;
+    ``cache_stats`` carries the context-cache hit/miss deltas of the job
+    (e.g. ``substrate_hits``, ``encoding_misses``, ``window_hits``).  For a
+    resumed (``cached``) outcome both are taken from the stored record, and
+    ``elapsed_s`` is the stored record's original compute time -- not zero
+    -- so aggregate timing reports stay honest on warm stores.
+    """
 
     job: JobSpec
     key: str
@@ -53,6 +77,8 @@ class JobOutcome:
     summary: Optional[Dict[str, object]] = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    stage_timings: Optional[Dict[str, float]] = None
+    cache_stats: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -91,6 +117,12 @@ class CampaignResult:
         """True when the run recomputed nothing (a fully warm store)."""
         return self.num_jobs > 0 and self.num_cached == self.num_jobs
 
+    @property
+    def total_elapsed_s(self) -> float:
+        """Summed per-job compute seconds (cached jobs report their
+        originally stored compute time)."""
+        return sum(outcome.elapsed_s for outcome in self.outcomes)
+
     def rows(self) -> List[Dict[str, object]]:
         """Summary rows of every successful outcome, in job order."""
         return [
@@ -102,31 +134,146 @@ class CampaignResult:
     def failures(self) -> List[JobOutcome]:
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
+    def stage_timing_totals(self) -> Dict[str, float]:
+        """Summed per-stage wall seconds over every outcome that has them."""
+        totals: Dict[str, float] = {}
+        for outcome in self.outcomes:
+            for stage, seconds in (outcome.stage_timings or {}).items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
 
-def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Run one job in a worker process.  Never raises: errors are captured."""
-    start = time.perf_counter()
+    def cache_stat_totals(self) -> Dict[str, int]:
+        """Summed context-cache hit/miss counters over every outcome."""
+        totals: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for name, count in (outcome.cache_stats or {}).items():
+                totals[name] = totals.get(name, 0) + int(count)
+        return totals
+
+
+def _job_error(index: int, error: str, elapsed_s: float = 0.0) -> Dict[str, object]:
+    return {
+        "index": index,
+        "status": STATUS_ERROR,
+        "summary": None,
+        "error": error,
+        "elapsed_s": elapsed_s,
+        "stage_timings": None,
+        "cache_stats": None,
+    }
+
+
+def _execute_group_payload(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Run one encode-key group of jobs in a worker process.
+
+    All jobs of the group share one :class:`CompressionContext`: the first
+    job builds the substrate and computes the seeds, the grid neighbours
+    hit the context caches and only run their own reduction.  Never raises:
+    per-job errors are captured so one failing (S, k) point cannot take the
+    group down.  Returns one result dict per job, tagged with the job's
+    campaign index, its stage-timing and its cache-stat deltas.
+
+    The per-job ``timeout`` of the payload is enforced *here* as a group
+    budget (``timeout * num_jobs``): once the budget is spent, the
+    remaining jobs are reported as ``timeout`` without being started and
+    the completed results of the group are still returned, so a slow
+    group keeps its finished work.  The guarantee is best-effort: a job
+    that *starts* inside the budget but overruns the parent's hard wait
+    (budget + one job of grace) -- a genuine hang, or one pathologically
+    long job -- still loses the group's results for that run (see
+    ROADMAP: streaming per-job results would close this).
+    """
+    context = CompressionContext()
     try:
-        test_set = TestSet.from_text(
-            payload["test_text"], name=payload["circuit"]
-        )
-        config = CompressionConfig.from_dict(payload["config"])
-        report = compress(test_set, config, verify=payload["verify"])
-        return {
-            "job_id": payload["job_id"],
-            "status": STATUS_OK,
-            "summary": report.summary(),
-            "error": None,
-            "elapsed_s": time.perf_counter() - start,
-        }
+        test_set = TestSet.from_text(payload["test_text"], name=payload["circuit"])
     except Exception:
-        return {
-            "job_id": payload["job_id"],
-            "status": STATUS_ERROR,
-            "summary": None,
-            "error": traceback.format_exc(limit=8),
-            "elapsed_s": time.perf_counter() - start,
-        }
+        error = traceback.format_exc(limit=8)
+        return [_job_error(job["index"], error) for job in payload["jobs"]]
+    timeout = payload.get("timeout")
+    budget = None if timeout is None else timeout * len(payload["jobs"])
+    group_start = time.perf_counter()
+    results: List[Dict[str, object]] = []
+    for job in payload["jobs"]:
+        if budget is not None and time.perf_counter() - group_start >= budget:
+            results.append(
+                {
+                    "index": job["index"],
+                    "status": STATUS_TIMEOUT,
+                    "summary": None,
+                    "error": (
+                        f"not started: the group budget of {budget:.1f}s "
+                        f"({len(payload['jobs'])} jobs x {timeout:.1f}s) was "
+                        f"spent by earlier jobs; a resumed run retries it"
+                    ),
+                    "elapsed_s": 0.0,
+                    "stage_timings": None,
+                    "cache_stats": None,
+                }
+            )
+            continue
+        start = time.perf_counter()
+        before = context.stats.snapshot()
+        try:
+            config = CompressionConfig.from_dict(job["config"])
+            report = compress(
+                test_set, config, verify=payload["verify"], context=context
+            )
+            delta = ContextStats.delta(before, context.stats.snapshot())
+            results.append(
+                {
+                    "index": job["index"],
+                    "status": STATUS_OK,
+                    "summary": report.summary(),
+                    "error": None,
+                    "elapsed_s": time.perf_counter() - start,
+                    "stage_timings": {
+                        name[:-2]: seconds
+                        for name, seconds in delta.items()
+                        if name.endswith("_s")
+                    },
+                    "cache_stats": {
+                        name: int(count)
+                        for name, count in delta.items()
+                        if not name.endswith("_s")
+                    },
+                }
+            )
+        except Exception:
+            results.append(
+                _job_error(
+                    job["index"],
+                    traceback.format_exc(limit=8),
+                    elapsed_s=time.perf_counter() - start,
+                )
+            )
+    return results
+
+
+def _split_for_parallelism(
+    payloads: List[Dict[str, object]], workers: int
+) -> List[Dict[str, object]]:
+    """Split encode-key groups until every worker has a chunk to run.
+
+    A single-circuit (S, k) grid forms one group, which would serialise the
+    whole campaign on one worker.  Splitting the largest chunk in half
+    until there are at least ``workers`` chunks trades duplicate encodes
+    (on workers that would otherwise idle) for wall-clock parallelism;
+    within each chunk the substrate/encoding sharing is unchanged.  The
+    split is deterministic and preserves job order within and across
+    chunks.
+    """
+    chunks = list(payloads)
+    while len(chunks) < workers:
+        largest = max(range(len(chunks)), key=lambda i: len(chunks[i]["jobs"]))
+        jobs = chunks[largest]["jobs"]
+        if len(jobs) < 2:
+            break
+        half = (len(jobs) + 1) // 2
+        chunks[largest : largest + 1] = [
+            dict(chunks[largest], jobs=jobs[:half]),
+            dict(chunks[largest], jobs=jobs[half:]),
+        ]
+    return chunks
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -149,12 +296,16 @@ class CampaignRunner:
     jobs:
         Worker-pool size; ``1`` runs everything inline in-process.
     timeout:
-        Per-job wait bound in seconds (``None`` disables).  A job that
-        exceeds it is reported with status ``timeout`` and not stored, so a
-        later run retries it.
+        Per-job wait bound in seconds (``None`` disables).  Jobs sharing an
+        encoding run as one worker task, so a group of ``n`` jobs is
+        allowed ``n * timeout`` seconds; a group that exceeds it is
+        reported with status ``timeout`` for each of its jobs and not
+        stored, so a later run retries them.
     resume:
         When True (default), jobs whose key already has a successful stored
-        record are returned as cache hits without recomputation.
+        record are returned as cache hits without recomputation; their
+        outcomes carry the stored record's original ``elapsed_s``,
+        ``stage_timings`` and ``cache_stats``.
     """
 
     def __init__(
@@ -182,14 +333,20 @@ class CampaignRunner:
         """Run every job of the spec; returns outcomes in spec order.
 
         Completed results are appended to the store (and reported through
-        ``progress``) as soon as each job finishes, so an interrupted
+        ``progress``) as soon as each job group finishes, so an interrupted
         campaign keeps everything computed so far and the next resumed run
         picks up where it stopped.
         """
         job_specs = self._spec.jobs()
         resolved = self._resolve_sources(job_specs)
-        prepared: List[Tuple[int, JobSpec, str, Dict[str, object]]] = []
         outcomes: List[Optional[JobOutcome]] = [None] * len(job_specs)
+        # index -> (job spec, result key, config dict, fingerprint) for
+        # every non-cached job; ``finish`` persists from this.
+        pending: Dict[int, Tuple[JobSpec, str, Dict[str, object], str]] = {}
+        # Encode-key groups in first-seen (spec) order.
+        groups: "OrderedDict[Tuple[TestSource, str], Dict[str, object]]" = (
+            OrderedDict()
+        )
 
         for index, job in enumerate(job_specs):
             test_text, fingerprint, lfsr_default = resolved[job.source]
@@ -204,23 +361,34 @@ class CampaignRunner:
                     key=key,
                     status=STATUS_CACHED,
                     summary=record.summary,
-                    elapsed_s=0.0,
+                    elapsed_s=record.elapsed_s,
+                    stage_timings=record.stage_timings,
+                    cache_stats=record.cache_stats,
                 )
                 outcomes[index] = outcome
                 if progress is not None:
                     progress(outcome)
                 continue
-            payload = {
-                "job_id": job.job_id,
-                "circuit": job.source.label,
-                "test_text": test_text,
-                "fingerprint": fingerprint,
-                "config": config.to_dict(),
-                "verify": self._spec.verify,
-            }
-            prepared.append((index, job, key, payload))
+            pending[index] = (job, key, config.to_dict(), fingerprint)
+            group_key = (job.source, config.encode_cache_key())
+            group = groups.get(group_key)
+            if group is None:
+                group = {
+                    "circuit": job.source.label,
+                    "test_text": test_text,
+                    "fingerprint": fingerprint,
+                    "verify": self._spec.verify,
+                    "timeout": self._timeout,
+                    "jobs": [],
+                }
+                groups[group_key] = group
+            group["jobs"].append(
+                {"index": index, "job_id": job.job_id, "config": config.to_dict()}
+            )
 
-        def finish(index, job, key, payload, result) -> None:
+        def finish(result: Dict[str, object]) -> None:
+            index = result["index"]
+            job, key, config_dict, fingerprint = pending[index]
             outcome = JobOutcome(
                 job=job,
                 key=key,
@@ -228,6 +396,8 @@ class CampaignRunner:
                 summary=result["summary"],
                 error=result["error"],
                 elapsed_s=result["elapsed_s"],
+                stage_timings=result.get("stage_timings"),
+                cache_stats=result.get("cache_stats"),
             )
             outcomes[index] = outcome
             if outcome.status in (STATUS_OK, STATUS_ERROR):
@@ -236,23 +406,29 @@ class CampaignRunner:
                         key=key,
                         job_id=job.job_id,
                         circuit=job.source.label,
-                        fingerprint=payload["fingerprint"],
-                        config=payload["config"],
+                        fingerprint=fingerprint,
+                        config=config_dict,
                         status=outcome.status,
                         summary=outcome.summary,
                         error=outcome.error,
                         elapsed_s=outcome.elapsed_s,
+                        stage_timings=outcome.stage_timings,
+                        cache_stats=outcome.cache_stats,
                     )
                 )
             if progress is not None:
                 progress(outcome)
 
-        if prepared:
+        payloads = list(groups.values())
+        if payloads:
             if self._jobs == 1:
-                for index, job, key, payload in prepared:
-                    finish(index, job, key, payload, _execute_payload(payload))
+                for payload in payloads:
+                    for result in _execute_group_payload(payload):
+                        finish(result)
             else:
-                self._run_pool(prepared, finish)
+                self._run_pool(
+                    _split_for_parallelism(payloads, self._jobs), finish
+                )
         return CampaignResult(campaign=self._spec.name, outcomes=outcomes)
 
     # ------------------------------------------------------------------
@@ -276,34 +452,51 @@ class CampaignRunner:
 
     def _run_pool(
         self,
-        prepared: List[Tuple[int, JobSpec, str, Dict[str, object]]],
-        finish: Callable[..., None],
+        payloads: List[Dict[str, object]],
+        finish: Callable[[Dict[str, object]], None],
     ) -> None:
-        """Submit every payload and hand results to ``finish`` as they land."""
+        """Submit every group and hand per-job results to ``finish``."""
         context = _pool_context()
-        pool = context.Pool(processes=min(self._jobs, len(prepared)))
+        pool = context.Pool(processes=min(self._jobs, len(payloads)))
         timed_out = False
         try:
             handles = [
-                pool.apply_async(_execute_payload, (payload,))
-                for _, _, _, payload in prepared
+                pool.apply_async(_execute_group_payload, (payload,))
+                for payload in payloads
             ]
-            for (index, job, key, payload), handle in zip(prepared, handles):
+            for payload, handle in zip(payloads, handles):
+                group_jobs = payload["jobs"]
+                # The worker enforces the group budget itself and returns
+                # completed results; this hard wait (budget + one extra job
+                # allowance of grace) only fires when a job genuinely hangs.
+                hard_timeout = (
+                    None
+                    if self._timeout is None
+                    else self._timeout * (len(group_jobs) + 1)
+                )
                 try:
-                    result = handle.get(timeout=self._timeout)
+                    results = handle.get(timeout=hard_timeout)
                 except multiprocessing.TimeoutError:
                     timed_out = True
-                    result = {
-                        "job_id": job.job_id,
-                        "status": STATUS_TIMEOUT,
-                        "summary": None,
-                        "error": (
-                            f"job exceeded the per-job timeout of "
-                            f"{self._timeout:.1f}s"
-                        ),
-                        "elapsed_s": self._timeout,
-                    }
-                finish(index, job, key, payload, result)
+                    results = [
+                        {
+                            "index": job["index"],
+                            "status": STATUS_TIMEOUT,
+                            "summary": None,
+                            "error": (
+                                f"job group did not return within "
+                                f"{hard_timeout:.1f}s ({len(group_jobs)} "
+                                f"jobs x {self._timeout:.1f}s + grace); a "
+                                f"job is hanging"
+                            ),
+                            "elapsed_s": self._timeout,
+                            "stage_timings": None,
+                            "cache_stats": None,
+                        }
+                        for job in group_jobs
+                    ]
+                for result in results:
+                    finish(result)
         finally:
             if timed_out:
                 pool.terminate()  # don't let stragglers outlive the campaign

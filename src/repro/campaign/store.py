@@ -39,7 +39,13 @@ def result_key(fingerprint: str, config: CompressionConfig) -> str:
 
 @dataclass
 class StoredResult:
-    """One persisted job outcome."""
+    """One persisted job outcome.
+
+    ``stage_timings`` (stage name -> wall seconds) and ``cache_stats``
+    (context-cache hit/miss counters) describe how the staged pipeline
+    spent its time when the job was computed; both are ``None`` for records
+    written before the staged runner existed (old stores stay loadable).
+    """
 
     key: str
     job_id: str
@@ -50,6 +56,8 @@ class StoredResult:
     summary: Optional[Dict[str, object]] = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    stage_timings: Optional[Dict[str, float]] = None
+    cache_stats: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -60,6 +68,8 @@ class StoredResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "StoredResult":
+        stage_timings = data.get("stage_timings")
+        cache_stats = data.get("cache_stats")
         return cls(
             key=data["key"],
             job_id=data["job_id"],
@@ -70,6 +80,8 @@ class StoredResult:
             summary=data.get("summary"),
             error=data.get("error"),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            stage_timings=dict(stage_timings) if stage_timings else None,
+            cache_stats=dict(cache_stats) if cache_stats else None,
         )
 
 

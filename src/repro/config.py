@@ -124,3 +124,36 @@ class CompressionConfig:
         """
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:16]
+
+    #: Knobs consumed only by the State Skip reduction -- the encode stage
+    #: (substrate construction + seed computation) is invariant under them,
+    #: which is what lets campaign grid neighbours share one encoding.
+    _REDUCTION_ONLY_FIELDS = (
+        "segment_size",
+        "speedup",
+        "alignment",
+        "force_first_segment_useful",
+    )
+
+    def encode_dict(self) -> Dict[str, object]:
+        """The encode-relevant knobs only (reduction-only fields dropped)."""
+        data = self.to_dict()
+        for name in self._REDUCTION_ONLY_FIELDS:
+            data.pop(name)
+        return data
+
+    def encode_cache_key(self) -> str:
+        """Stable content hash of the encode-relevant knobs.
+
+        Two configs with equal keys produce byte-identical encode-stage
+        results on the same test set: the same substrate (LFSR, phase
+        shifter, equation system) and the same seeds.  Used by
+        :class:`~repro.context.CompressionContext` to cache encodings and by
+        the campaign runner to group (S, k) grid neighbours onto one worker.
+        ``lfsr_size=None`` (auto) is part of the key, so resolve it first
+        when grouping across test sets.
+        """
+        canonical = json.dumps(
+            self.encode_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:16]

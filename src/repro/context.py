@@ -1,0 +1,216 @@
+"""Shared caches for the staged compression pipeline.
+
+Every paper artifact (Tables 1-4, Fig. 4) is a grid of runs over
+circuits x (L, S, k), and the expensive work is concentrated in two
+invariants that grid neighbours share:
+
+* the **algebraic substrate** of the decompressor -- the LFSR, the phase
+  shifter and the :class:`~repro.encoding.equations.EquationSystem` with its
+  precomputed cell rows and window-position matrices.  It depends only on
+  ``(num_cells, num_scan_chains, lfsr_size, window_length, phase_taps,
+  phase_seed)``, never on the test cubes or on the State Skip parameters
+  ``(S, k)``;
+* the **expanded seed windows** -- the ``L`` fully specified test vectors of
+  every computed seed.  Verification, the sequence reducer's embedding map
+  and any coverage cross-check all need exactly the same expansion.
+
+:class:`CompressionContext` owns content-addressed caches for both (plus the
+encode-stage results built on top of them) and counts hits, misses and
+per-stage wall time.  The staged pipeline functions in
+:mod:`repro.pipeline` (``encode`` / ``reduce`` / ``hardware`` /
+``simulate``) thread a context through the flow; the campaign runner gives
+every worker one context per job group so that an (S, k) sweep over one
+encoding pays for the substrate and the seed computation exactly once.
+
+All cache keys are content-addressed (plain value tuples), so a context is
+safe to share across test sets, configs and campaign grids; caches are
+bounded LRU-style so long-lived processes stay flat in memory.  A context is
+**not** thread- or process-safe -- use one per worker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.encoding.substrate import EncoderSubstrate, SubstrateKey
+from repro.lru import LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.encoding.results import EncodingResult
+    from repro.gf2.bitvec import BitVector
+
+__all__ = [
+    "CompressionContext",
+    "ContextStats",
+    "EncoderSubstrate",
+    "SubstrateKey",
+]
+
+
+@dataclass
+class _EncodingEntry:
+    """One cached encode-stage result (see :meth:`CompressionContext`)."""
+
+    substrate: EncoderSubstrate
+    encoding: "EncodingResult"
+    verified: bool
+
+
+
+
+@dataclass
+class ContextStats:
+    """Cache hit/miss counters and per-stage wall-time accumulators."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def add_timing(self, stage: str, seconds: float) -> None:
+        self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat copy of every counter and timing (timings as ``<stage>_s``)."""
+        flat: Dict[str, float] = dict(self.counters)
+        for stage, seconds in self.timings.items():
+            flat[f"{stage}_s"] = seconds
+        return flat
+
+    @staticmethod
+    def delta(
+        before: Dict[str, float], after: Dict[str, float]
+    ) -> Dict[str, float]:
+        """What happened between two :meth:`snapshot` calls (zeros dropped)."""
+        out: Dict[str, float] = {}
+        for name, value in after.items():
+            diff = value - before.get(name, 0)
+            if diff:
+                out[name] = round(diff, 6) if isinstance(diff, float) else diff
+        return out
+
+
+class CompressionContext:
+    """Content-addressed caches shared across staged compression runs.
+
+    Parameters
+    ----------
+    caching:
+        ``False`` turns every cache into a pass-through (each query is
+        recomputed and counted as a miss) while keeping the stats and the
+        staged API identical -- the cache-on/cache-off golden tests rely on
+        this producing bit-identical reports.
+    max_substrates / max_encodings / max_windows:
+        LRU bounds of the three caches.
+
+    The three caches, from cheapest to most expensive to rebuild:
+
+    * ``substrate``: :class:`EncoderSubstrate` by :class:`SubstrateKey`;
+    * ``windows``: expanded seed windows by ``(SubstrateKey, seed values)``
+      -- the seed-value tuple is the content fingerprint of the seeds;
+    * ``encoding``: full encode-stage results (substrate + seeds +
+      verification flag) by ``(test-set fingerprint, encode-relevant config
+      key)`` -- this is what lets a warm (S, k) sweep skip the seed
+      computation entirely.
+    """
+
+    def __init__(
+        self,
+        caching: bool = True,
+        max_substrates: int = 8,
+        max_encodings: int = 16,
+        max_windows: int = 16,
+    ):
+        self.caching = caching
+        self.stats = ContextStats()
+        self._substrates = LRUCache(max_substrates)
+        self._encodings = LRUCache(max_encodings)
+        self._windows = LRUCache(max_windows)
+
+    # ------------------------------------------------------------------
+    # Substrate cache
+    # ------------------------------------------------------------------
+    def substrate(self, key: SubstrateKey) -> EncoderSubstrate:
+        """The (possibly cached) substrate of ``key``."""
+        cached = self._substrates.get(key) if self.caching else None
+        if cached is not None:
+            self.stats.count("substrate_hits")
+            return cached
+        self.stats.count("substrate_misses")
+        start = time.perf_counter()
+        substrate = EncoderSubstrate(key)
+        self.stats.add_timing("substrate_build", time.perf_counter() - start)
+        if self.caching:
+            self._substrates.put(key, substrate)
+        return substrate
+
+    # ------------------------------------------------------------------
+    # Encode-stage cache
+    # ------------------------------------------------------------------
+    def get_encoding(
+        self, fingerprint: str, encode_key: str
+    ) -> Optional[_EncodingEntry]:
+        """Cached encode-stage entry for (test set, encode config), if any."""
+        entry = (
+            self._encodings.get((fingerprint, encode_key))
+            if self.caching
+            else None
+        )
+        if entry is None:
+            self.stats.count("encoding_misses")
+            return None
+        self.stats.count("encoding_hits")
+        return entry
+
+    def put_encoding(
+        self,
+        fingerprint: str,
+        encode_key: str,
+        substrate: EncoderSubstrate,
+        encoding: "EncodingResult",
+        verified: bool,
+    ) -> _EncodingEntry:
+        entry = _EncodingEntry(
+            substrate=substrate, encoding=encoding, verified=verified
+        )
+        if self.caching:
+            self._encodings.put((fingerprint, encode_key), entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Expanded-window cache
+    # ------------------------------------------------------------------
+    def expanded_windows(
+        self, substrate: EncoderSubstrate, seeds: Sequence["BitVector"]
+    ) -> List[List[int]]:
+        """The ``L``-vector windows of ``seeds``, expanded at most once.
+
+        Entry ``[s][v]`` is the packed test vector of seed ``s`` at window
+        position ``v`` (exactly
+        :meth:`~repro.encoding.equations.EquationSystem.expand_seeds`).
+        The result is shared -- treat it as immutable.
+        """
+        key = (substrate.key, tuple(seed.value for seed in seeds))
+        cached = self._windows.get(key) if self.caching else None
+        if cached is not None:
+            self.stats.count("window_hits")
+            return cached
+        self.stats.count("window_misses")
+        start = time.perf_counter()
+        windows = substrate.equations.expand_seeds(list(seeds))
+        self.stats.add_timing("expand_seeds", time.perf_counter() - start)
+        if self.caching:
+            self._windows.put(key, windows)
+        return windows
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached object (stats are kept)."""
+        self._substrates.clear()
+        self._encodings.clear()
+        self._windows.clear()

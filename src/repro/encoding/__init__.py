@@ -20,6 +20,7 @@ from repro.encoding.results import CubeEmbedding, EncodingResult, SeedRecord
 from repro.encoding.window import EncodingError, WindowEncoder
 from repro.encoding.classical import encode_classical
 from repro.encoding.encoder import ReseedingEncoder, encode_test_set
+from repro.encoding.substrate import EncoderSubstrate, SubstrateKey
 
 __all__ = [
     "EquationSystem",
@@ -27,6 +28,8 @@ __all__ = [
     "EncodingResult",
     "SeedRecord",
     "EncodingError",
+    "EncoderSubstrate",
+    "SubstrateKey",
     "WindowEncoder",
     "encode_classical",
     "ReseedingEncoder",

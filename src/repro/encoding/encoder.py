@@ -1,18 +1,21 @@
 """Convenience front-end assembling the full reseeding encoder.
 
-:class:`ReseedingEncoder` wires together the LFSR (with the library's default
-primitive feedback polynomial), the phase shifter, the scan architecture and
-the equation system, and exposes a single :meth:`~ReseedingEncoder.encode`
-call.  The lower-level classes remain available for callers that want to
-substitute their own hardware (e.g. a custom transition matrix or a
-hand-crafted phase shifter).
+:class:`ReseedingEncoder` builds (or borrows) the
+:class:`~repro.encoding.substrate.EncoderSubstrate` -- the LFSR with the
+library's default primitive feedback polynomial, the phase shifter, the
+scan architecture and the equation system -- and exposes a single
+:meth:`~ReseedingEncoder.encode` call.  Passing a context-cached substrate
+skips the expensive setup entirely (see
+:class:`repro.context.CompressionContext`); the lower-level classes remain
+available for callers that want to substitute their own hardware (e.g. a
+custom transition matrix or a hand-crafted phase shifter).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.gf2.primitive import default_feedback_polynomial
+from repro.encoding.substrate import EncoderSubstrate, SubstrateKey
 from repro.lfsr.lfsr import LFSR
 from repro.lfsr.phase_shifter import PhaseShifter
 from repro.scan.architecture import ScanArchitecture
@@ -46,6 +49,11 @@ class ReseedingEncoder:
     batch_trials:
         Use the batched/residual-cached solvability scan (default); False
         selects the unbatched reference scan (bit-identical results).
+    substrate:
+        A prebuilt :class:`~repro.context.EncoderSubstrate` (e.g. from a
+        :class:`~repro.context.CompressionContext` cache).  Its key must
+        match the hardware parameters above; when omitted a fresh substrate
+        is constructed.
     """
 
     def __init__(
@@ -58,53 +66,58 @@ class ReseedingEncoder:
         phase_seed: int = 2008,
         fill_seed: int = 2008,
         batch_trials: bool = True,
+        substrate: Optional[EncoderSubstrate] = None,
     ):
-        if lfsr_size < 2:
-            raise ValueError("lfsr_size must be at least 2")
-        self._architecture = ScanArchitecture(num_cells, num_scan_chains)
-        self._lfsr = LFSR.fibonacci(default_feedback_polynomial(lfsr_size))
-        self._phase_shifter = PhaseShifter.construct(
-            num_outputs=self._architecture.num_chains,
+        key = SubstrateKey(
+            num_cells=num_cells,
+            num_scan_chains=num_scan_chains,
             lfsr_size=lfsr_size,
-            taps_per_output=phase_taps,
-            seed=phase_seed,
-        )
-        self._equations = EquationSystem(
-            transition=self._lfsr.transition,
-            phase_shifter=self._phase_shifter,
-            architecture=self._architecture,
             window_length=window_length,
+            phase_taps=phase_taps,
+            phase_seed=phase_seed,
         )
+        if substrate is None:
+            substrate = EncoderSubstrate(key)
+        elif substrate.key != key:
+            raise ValueError(
+                f"substrate key {substrate.key} does not match the encoder "
+                f"parameters {key}"
+            )
+        self._substrate = substrate
         self._window_encoder = WindowEncoder(
-            self._equations, fill_seed=fill_seed, batch_trials=batch_trials
+            substrate.equations, fill_seed=fill_seed, batch_trials=batch_trials
         )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def substrate(self) -> EncoderSubstrate:
+        return self._substrate
+
+    @property
     def architecture(self) -> ScanArchitecture:
-        return self._architecture
+        return self._substrate.architecture
 
     @property
     def lfsr(self) -> LFSR:
-        return self._lfsr
+        return self._substrate.lfsr
 
     @property
     def phase_shifter(self) -> PhaseShifter:
-        return self._phase_shifter
+        return self._substrate.phase_shifter
 
     @property
     def equations(self) -> EquationSystem:
-        return self._equations
+        return self._substrate.equations
 
     @property
     def window_length(self) -> int:
-        return self._equations.window_length
+        return self._substrate.equations.window_length
 
     @property
     def lfsr_size(self) -> int:
-        return self._equations.lfsr_size
+        return self._substrate.equations.lfsr_size
 
     # ------------------------------------------------------------------
     # Encoding

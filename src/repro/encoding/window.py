@@ -119,13 +119,17 @@ class WindowEncoder:
             )
         cubes = test_set.cubes
         if self._batch_trials:
-            # The hot path works on the packed per-cube row blocks; only the
-            # position-0 pair lists are materialised (precheck, first cube).
+            # The hot path works on the packed per-cube row blocks, built
+            # for the whole test set in chunked single gemms up front; only
+            # the position-0 pair lists are materialised (precheck, first
+            # cube).
+            self._equations.precompute_cube_words(cubes)
             cube_equations = None
             position0 = [
                 self._equations.cube_equations_at(cube, 0) for cube in cubes
             ]
         else:
+            self._equations.reserve_cube_capacity(len(cubes))
             cube_equations = [self._equations.cube_equations(cube) for cube in cubes]
             position0 = [equations[0] for equations in cube_equations]
         spec_counts = [cube.specified_count() for cube in cubes]
@@ -396,7 +400,10 @@ class WindowEncoder:
 
 
 def verify_encoding(
-    result: EncodingResult, test_set: TestSet, equations: EquationSystem
+    result: EncodingResult,
+    test_set: TestSet,
+    equations: EquationSystem,
+    windows: Optional[List[List[int]]] = None,
 ) -> List[Tuple[int, int, int]]:
     """Check every deterministic embedding against the expanded windows.
 
@@ -404,9 +411,18 @@ def verify_encoding(
     empty list means every encoded cube is really produced by its seed at its
     assigned window position.  This is the ground-truth correctness check the
     tests and the decompressor simulation rely on.
+
+    ``windows`` may carry the already-expanded seed windows (entry ``[s][v]``
+    = packed vector of seed ``s`` at position ``v``, exactly
+    :meth:`EquationSystem.expand_seeds` output); when omitted the seeds are
+    expanded here.  The staged pipeline passes the
+    :class:`~repro.context.CompressionContext`-cached expansion so that
+    verification, the sequence reducer and any coverage check share one
+    expansion instead of three.
     """
     violations = []
-    windows = equations.expand_seeds([record.seed for record in result.seeds])
+    if windows is None:
+        windows = equations.expand_seeds([record.seed for record in result.seeds])
     for record, window in zip(result.seeds, windows):
         for embedding in record.embeddings:
             if not embedding.deterministic:

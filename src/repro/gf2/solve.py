@@ -119,7 +119,11 @@ class IncrementalSolver:
             raise ValueError("num_variables must be positive")
         self._n = num_variables
         self._rhs_bit = 1 << num_variables
-        # pivot column -> augmented row with that pivot
+        # pivot column -> augmented row with that pivot.  Invariant: every
+        # stored row is *fully* reduced -- it contains its own pivot column,
+        # free columns and the RHS bit only.  :meth:`commit` maintains the
+        # invariant incrementally (back-substitution of each new pivot), so
+        # the RREF basis is never recomputed from scratch.
         self._pivots: Dict[int, int] = {}
         # Bumped on every state change; lets derived caches (the packed
         # fully-reduced basis, callers' residual caches) know when to refresh.
@@ -198,21 +202,13 @@ class IncrementalSolver:
     def _fully_reduced_rows(self) -> Dict[int, int]:
         """Pivot rows with every *other* pivot column eliminated.
 
-        Stored rows are only leading-bit reduced, so a row may still reference
-        lower pivot columns.  Processing pivots in ascending order lets each
-        row be cleaned with already-cleaned lower rows, after which every row
-        contains its own pivot column, free columns and the RHS bit only.
+        The stored basis *is* fully reduced (:meth:`commit` back-substitutes
+        every new pivot into the existing rows instead of leaving them
+        leading-bit reduced), so this is a constant-time accessor rather
+        than the per-epoch O(rank^2) RREF rebuild it used to be.  Treat the
+        returned mapping as read-only.
         """
-        reduced: Dict[int, int] = {}
-        for pivot in sorted(self._pivots):
-            row = self._pivots[pivot]
-            rest = row & ~self._rhs_bit & ~(1 << pivot)
-            for lower in sorted(reduced, reverse=True):
-                if (rest >> lower) & 1:
-                    row ^= reduced[lower]
-                    rest = row & ~self._rhs_bit & ~(1 << pivot)
-            reduced[pivot] = row
-        return reduced
+        return self._pivots
 
     # ------------------------------------------------------------------
     # Public API
@@ -380,19 +376,40 @@ class IncrementalSolver:
         The trial must have been produced by :meth:`try_equations` /
         :meth:`try_masks` on the *current* solver state (no other commits in
         between); the reduced rows are inserted directly.
+
+        Each inserted row is brought to fully reduced form (every other
+        pivot column eliminated) and back-substituted into the existing
+        basis rows, so the RREF invariant of ``_pivots`` is maintained
+        incrementally -- O(rank) big-int XORs per new pivot instead of the
+        O(rank^2) per-epoch rebuild the packed basis and
+        :meth:`solution` used to pay.
         """
         if not trial.consistent:
             raise ValueError("cannot commit an inconsistent trial")
+        rhs_bit = self._rhs_bit
         changed = False
         for aug in trial.reduced_rows:
             row = self._reduce(aug)
-            if row == self._rhs_bit:
+            if row == rhs_bit:
                 raise ValueError("trial is stale: row became inconsistent")
             if row == 0:
                 continue
-            pivot = (row & ~self._rhs_bit).bit_length() - 1
+            pivot = (row & ~rhs_bit).bit_length() - 1
+            pivot_bit = 1 << pivot
+            # Fully reduce: the leading-bit pass above only stops at the new
+            # pivot; pivot columns below it may survive.  Basis rows carry
+            # no bits above their own pivot, so each XOR strictly shrinks
+            # the referenced-pivot set.
+            rest = row & ~rhs_bit & ~pivot_bit & self._pivot_mask
+            while rest:
+                row ^= self._pivots[rest.bit_length() - 1]
+                rest = row & ~rhs_bit & ~pivot_bit & self._pivot_mask
+            # Back-substitute the new pivot out of every existing row.
+            for other, other_row in self._pivots.items():
+                if other_row & pivot_bit:
+                    self._pivots[other] = other_row ^ row
             self._pivots[pivot] = row
-            self._pivot_mask |= 1 << pivot
+            self._pivot_mask |= pivot_bit
             changed = True
         if changed:
             self._epoch += 1

@@ -1,6 +1,6 @@
 """Hot-kernel benchmarks and the regression harness behind ``repro bench``.
 
-Two kernels dominate campaign wall time and are measured here:
+Three kernels dominate campaign wall time and are measured here:
 
 ``encoding``
     The window-based solvability scan (batched GF(2) trials, residual
@@ -13,6 +13,15 @@ Two kernels dominate campaign wall time and are measured here:
     on generated benchmark circuits -- timed against the in-repo reference
     simulator (``use_cones=False``, 64-bit words) and checked for identical
     detected-fault sets.
+
+``context``
+    Encode reuse through the shared :class:`~repro.context.CompressionContext`:
+    a full (S, k) grid over one test set run with a warm shared context
+    (substrate + seeds computed once, reused by every grid neighbour --
+    exactly what the campaign runner does per job group) is timed against
+    the per-job rebuild path (caching disabled, every point re-derives the
+    substrate and re-encodes), and the resulting report summaries are
+    checked for bit-identity.
 
 Each kernel emits a ``BENCH_<kernel>.json`` report (wall time, throughput
 and speedup per case).  Reports can be compared against a committed
@@ -33,13 +42,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.circuits.fault_sim import FaultSimulator
 from repro.circuits.generator import random_netlist
+from repro.config import CompressionConfig
+from repro.context import CompressionContext
 from repro.encoding.encoder import ReseedingEncoder
 from repro.encoding.window import EncodingError
 from repro.testdata.profiles import get_profile
 from repro.testdata.synthetic import generate_test_set
 
 #: Kernel names in report order.
-KERNELS = ("encoding", "faultsim")
+KERNELS = ("encoding", "faultsim", "context")
 
 
 @dataclass
@@ -293,7 +304,109 @@ def bench_faultsim(quick: bool = False, repeat: int = 2) -> KernelReport:
     return KernelReport(kernel="faultsim", mode=mode, cases=cases)
 
 
-_BENCHES = {"encoding": bench_encoding, "faultsim": bench_faultsim}
+# ----------------------------------------------------------------------
+# Context-reuse kernel (encode once, sweep (S, k) many)
+# ----------------------------------------------------------------------
+#: (name, profile, scale, window, segment sizes, speedups).  The quick case
+#: mirrors the CI campaign smoke grid; full mode adds a paper-sized sweep.
+_CONTEXT_QUICK = [
+    ("s13207-L40-grid8", "s13207", 0.05, 40, [5, 10], [3, 6, 12, 24]),
+]
+_CONTEXT_CASES = {
+    "quick": _CONTEXT_QUICK,
+    "full": _CONTEXT_QUICK
+    + [
+        ("s9234-L100-grid6", "s9234", 0.08, 100, [5, 10], [6, 12, 24]),
+    ],
+}
+
+
+def _context_sweep_timed(
+    profile_name: str,
+    scale: float,
+    window: int,
+    segments: List[int],
+    speedups: List[int],
+    warm: bool,
+):
+    """Run a full (S, k) grid; returns (wall seconds, summary rows).
+
+    ``warm=True`` threads one shared :class:`CompressionContext` through
+    every :func:`~repro.pipeline.compress` call, so the substrate, the
+    seed computation and the window expansion are paid once for the whole
+    grid (the campaign runner's per-group path).  ``warm=False`` gives
+    every job a caching-disabled context -- the old per-job rebuild.
+    """
+    profile = get_profile(profile_name)
+    test_set = generate_test_set(profile, seed=1, scale=scale)
+    base = CompressionConfig(
+        window_length=window,
+        num_scan_chains=profile.scan_chains,
+        lfsr_size=profile.lfsr_size,
+    )
+    from repro.pipeline import compress
+
+    shared = CompressionContext() if warm else None
+    summaries = []
+    start = time.perf_counter()
+    for segment_size in segments:
+        for speedup in speedups:
+            config = base.with_updates(
+                segment_size=min(segment_size, window), speedup=speedup
+            )
+            context = shared if warm else CompressionContext(caching=False)
+            report = compress(test_set, config, verify=True, context=context)
+            summaries.append(report.summary())
+    return time.perf_counter() - start, summaries
+
+
+def bench_context(quick: bool = False, repeat: int = 2) -> KernelReport:
+    """Measure warm-context (S, k) sweeps against the per-job rebuild path."""
+    mode = "quick" if quick else "full"
+    cases: List[KernelCase] = []
+    for name, profile_name, scale, window, segments, speedups in _CONTEXT_CASES[
+        mode
+    ]:
+        num_jobs = len(segments) * len(speedups)
+        wall, summaries = _best_of(
+            repeat,
+            lambda: _context_sweep_timed(
+                profile_name, scale, window, segments, speedups, True
+            ),
+        )
+        ref_wall, ref_summaries = _best_of(
+            repeat,
+            lambda: _context_sweep_timed(
+                profile_name, scale, window, segments, speedups, False
+            ),
+        )
+        cases.append(
+            KernelCase(
+                name=name,
+                wall_s=wall,
+                throughput=num_jobs / wall if wall > 0 else 0.0,
+                unit="jobs/s",
+                reference_wall_s=ref_wall,
+                speedup=ref_wall / wall if wall > 0 else 0.0,
+                verified=summaries == ref_summaries,
+                detail={
+                    "profile": profile_name,
+                    "scale": scale,
+                    "window_length": window,
+                    "segments": segments,
+                    "speedups": speedups,
+                    "num_jobs": num_jobs,
+                },
+            )
+        )
+    return KernelReport(kernel="context", mode=mode, cases=cases)
+
+
+_BENCHES = {
+    "encoding": bench_encoding,
+    "faultsim": bench_faultsim,
+    "context": bench_context,
+}
 
 
 def run_benchmarks(

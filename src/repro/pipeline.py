@@ -1,14 +1,31 @@
-"""The complete State-Skip-LFSR compression flow in one call.
+"""The State-Skip-LFSR compression flow: staged API plus the one-call façade.
 
-:func:`compress` takes a test set (from a core vendor, from the ATPG
-substrate, or from the calibrated synthetic generators) and a
-:class:`~repro.config.CompressionConfig` and runs:
+The flow is decomposed into four first-class **stages**, each threaded
+through a :class:`~repro.context.CompressionContext` that caches the
+expensive invariants (the algebraic substrate, the encode-stage results and
+the expanded seed windows):
 
-1. window-based LFSR-reseeding seed computation (Section 2),
-2. the State Skip test-sequence reduction (Section 3.2),
-3. the gate-equivalent hardware model of the decompressor (Section 3.3 / 4),
-4. optionally, a clock-level decompressor simulation that replays the
-   schedule and checks that every test cube really reaches the scan chains.
+1. :func:`encode` -- window-based LFSR-reseeding seed computation
+   (Section 2), plus the algebraic verification of every embedding;
+2. :func:`reduce` -- the State Skip test-sequence reduction (Section 3.2);
+3. :func:`hardware` -- the gate-equivalent hardware model of the
+   decompressor (Section 3.3 / 4);
+4. :func:`simulate` -- the clock-level decompressor simulation that replays
+   the schedule and checks that every test cube really reaches the scan
+   chains.
+
+:func:`compress` remains the one-call façade over the stages and produces
+bit-identical :class:`CompressionReport`\\ s whether the context cache is
+warm, cold or disabled.  Calling the stages directly unlocks the
+encode-once / sweep-many workloads the monolith could not express::
+
+    ctx = CompressionContext()
+    encoded = encode(test_set, config, context=ctx)
+    for S, k in grid:
+        reduction = reduce(
+            encoded, config.with_updates(segment_size=S, speedup=k)
+        )
+        ge = hardware(encoded, reduction)
 
 The returned :class:`CompressionReport` carries every figure of merit the
 paper reports (TDV, original window TSL, reduced TSL, improvement %, GE
@@ -17,10 +34,12 @@ breakdown) plus the underlying result objects for deeper inspection.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.config import CompressionConfig
+from repro.context import CompressionContext, EncoderSubstrate, SubstrateKey
 from repro.decompressor.architecture import SimulationOutcome, simulate_decompression
 from repro.decompressor.hardware import (
     GateCostModel,
@@ -168,14 +187,205 @@ class CompressionReport:
         )
 
 
+# ----------------------------------------------------------------------
+# Staged pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class StagedEncoding:
+    """Output of the :func:`encode` stage.
+
+    Bundles the test set, the config, the (possibly context-cached)
+    :class:`~repro.context.EncoderSubstrate` that produced the encoding and
+    the :class:`~repro.encoding.results.EncodingResult` itself.  Later
+    stages take this object, so an (S, k) sweep calls :func:`encode` once
+    and :func:`reduce` / :func:`hardware` many times.
+
+    ``context`` is the context the stage ran with; it is the default
+    context of the downstream stages, which is how the cached seed-window
+    expansion travels from verification to the reducer without the caller
+    re-threading it.
+    """
+
+    test_set: TestSet
+    config: CompressionConfig
+    substrate: EncoderSubstrate
+    encoding: EncodingResult
+    verified: bool
+    context: CompressionContext
+
+    @property
+    def windows(self) -> List[List[int]]:
+        """The expanded seed windows (context-cached, shared, immutable)."""
+        return self.context.expanded_windows(
+            self.substrate, [record.seed for record in self.encoding.seeds]
+        )
+
+
+def encode(
+    test_set: TestSet,
+    config: Optional[CompressionConfig] = None,
+    context: Optional[CompressionContext] = None,
+    verify: bool = True,
+) -> StagedEncoding:
+    """Stage 1: window-based seed computation (plus algebraic verification).
+
+    The result is cached in ``context`` under (test-set fingerprint,
+    encode-relevant config key) -- the State Skip knobs ``(S, k,
+    alignment, force_first_segment_useful)`` are excluded from the key, so
+    every grid neighbour that shares the encode parameters reuses the
+    substrate *and* the computed seeds.  Verification runs at most once per
+    cached encoding and uses the context-cached window expansion.
+    """
+    config = config or CompressionConfig()
+    context = context or CompressionContext()
+    start = time.perf_counter()
+    lfsr_size = config.lfsr_size
+    if lfsr_size is None:
+        lfsr_size = test_set.max_specified() + 8
+    resolved = (
+        config
+        if config.lfsr_size == lfsr_size
+        else config.with_updates(lfsr_size=lfsr_size)
+    )
+    fingerprint = test_set.fingerprint()
+    encode_key = resolved.encode_cache_key()
+    entry = context.get_encoding(fingerprint, encode_key)
+    if entry is None:
+        substrate, encoding = _encode_with_retries(test_set, resolved, context)
+        entry = context.put_encoding(
+            fingerprint, encode_key, substrate, encoding, verified=False
+        )
+    if verify and not entry.verified:
+        windows = context.expanded_windows(
+            entry.substrate, [record.seed for record in entry.encoding.seeds]
+        )
+        violations = verify_encoding(
+            entry.encoding, test_set, entry.substrate.equations, windows=windows
+        )
+        if violations:
+            raise RuntimeError(
+                f"encoding verification failed for {len(violations)} embeddings; "
+                f"first: {violations[0]}"
+            )
+        entry.verified = True
+    context.stats.add_timing("encode", time.perf_counter() - start)
+    return StagedEncoding(
+        test_set=test_set,
+        config=config,
+        substrate=entry.substrate,
+        encoding=entry.encoding,
+        verified=entry.verified,
+        context=context,
+    )
+
+
+def reduce(
+    encoded: StagedEncoding,
+    config: Optional[CompressionConfig] = None,
+    context: Optional[CompressionContext] = None,
+) -> ReductionResult:
+    """Stage 2: State Skip sequence reduction of one encoding.
+
+    ``config`` supplies the reduction knobs ``(segment_size, speedup,
+    alignment, force_first_segment_useful)`` and defaults to the config the
+    encoding was produced with -- pass ``encoded.config.with_updates(...)``
+    to sweep (S, k) points over one encoding.  The embedding map is built
+    on the context-cached window expansion, so repeated reductions never
+    re-expand a seed.
+    """
+    config = config or encoded.config
+    context = context or encoded.context
+    start = time.perf_counter()
+    reducer = SequenceReducer(
+        encoded.substrate.equations,
+        ReductionConfig(
+            segment_size=config.segment_size,
+            speedup=config.speedup,
+            alignment=config.alignment,
+            force_first_segment_useful=config.force_first_segment_useful,
+        ),
+    )
+    windows = context.expanded_windows(
+        encoded.substrate, [record.seed for record in encoded.encoding.seeds]
+    )
+    result = reducer.reduce(encoded.encoding, encoded.test_set, windows=windows)
+    context.stats.add_timing("reduce", time.perf_counter() - start)
+    return result
+
+
+def hardware(
+    encoded: StagedEncoding,
+    reduction: ReductionResult,
+    cost_model: Optional[GateCostModel] = None,
+    context: Optional[CompressionContext] = None,
+) -> HardwareReport:
+    """Stage 3: gate-equivalent cost of the decompressor for one reduction."""
+    context = context or encoded.context
+    start = time.perf_counter()
+    report = decompressor_cost(
+        transition=encoded.substrate.lfsr.transition,
+        speedup=reduction.config.speedup,
+        phase_shifter=encoded.substrate.phase_shifter,
+        chain_length=encoded.substrate.architecture.chain_length,
+        segment_size=reduction.config.segment_size,
+        segments_per_window=reduction.num_segments_per_window,
+        useful_segments_per_seed=[s.useful_segments for s in reduction.schedules],
+        model=cost_model,
+    )
+    context.stats.add_timing("hardware", time.perf_counter() - start)
+    return report
+
+
+def simulate(
+    encoded: StagedEncoding,
+    reduction: ReductionResult,
+    context: Optional[CompressionContext] = None,
+) -> SimulationOutcome:
+    """Stage 4: clock-level decompressor replay (end-to-end delivery check).
+
+    The simulation is deliberately *not* served from the window cache: it
+    re-generates every vector through the State Skip datapath clock by
+    clock, which is what makes it an independent check of the whole flow.
+    Raises when any cube of the test set is left unapplied.
+    """
+    context = context or encoded.context
+    start = time.perf_counter()
+    outcome = simulate_decompression(
+        encoded.encoding,
+        reduction,
+        encoded.substrate.lfsr.transition,
+        encoded.substrate.phase_shifter,
+        encoded.substrate.architecture,
+    )
+    uncovered = outcome.uncovered_cubes(encoded.test_set)
+    if uncovered:
+        raise RuntimeError(
+            f"decompressor simulation left {len(uncovered)} cubes unapplied"
+        )
+    context.stats.add_timing("simulate", time.perf_counter() - start)
+    return outcome
+
+
+#: Stage-function aliases for call sites where the public names are shadowed
+#: (``compress`` takes ``simulate``/``verify`` flags of the same name).
+_encode_stage = encode
+_reduce_stage = reduce
+_hardware_stage = hardware
+_simulate_stage = simulate
+
+
+# ----------------------------------------------------------------------
+# One-call façade
+# ----------------------------------------------------------------------
 def compress(
     test_set: TestSet,
     config: Optional[CompressionConfig] = None,
     verify: bool = True,
     simulate: bool = False,
     cost_model: Optional[GateCostModel] = None,
+    context: Optional[CompressionContext] = None,
 ) -> CompressionReport:
-    """Run the full flow on a test set.
+    """Run the full flow on a test set (thin façade over the staged API).
 
     Parameters
     ----------
@@ -193,54 +403,28 @@ def compress(
         examples and acceptance tests).
     cost_model:
         Standard-cell GE weights for the hardware report.
+    context:
+        A shared :class:`~repro.context.CompressionContext`.  Reports are
+        bit-identical with or without one; a warm context skips the
+        substrate construction, the seed computation and the seed-window
+        expansion for every (test set, encode-config) point it has seen.
+        When omitted, an ephemeral context still shares the window
+        expansion between verification and reduction within this call.
     """
     config = config or CompressionConfig()
-    encoder, encoding = _encode_with_retries(test_set, config)
-    if verify:
-        violations = verify_encoding(encoding, test_set, encoder.equations)
-        if violations:
-            raise RuntimeError(
-                f"encoding verification failed for {len(violations)} embeddings; "
-                f"first: {violations[0]}"
-            )
-    reducer = SequenceReducer(
-        encoder.equations,
-        ReductionConfig(
-            segment_size=config.segment_size,
-            speedup=config.speedup,
-            alignment=config.alignment,
-            force_first_segment_useful=config.force_first_segment_useful,
-        ),
-    )
-    reduction = reducer.reduce(encoding, test_set)
-    hardware = decompressor_cost(
-        transition=encoder.lfsr.transition,
-        speedup=config.speedup,
-        phase_shifter=encoder.phase_shifter,
-        chain_length=encoder.architecture.chain_length,
-        segment_size=config.segment_size,
-        segments_per_window=reduction.num_segments_per_window,
-        useful_segments_per_seed=[s.useful_segments for s in reduction.schedules],
-        model=cost_model,
+    context = context or CompressionContext()
+    encoded = _encode_stage(test_set, config, context=context, verify=verify)
+    reduction = _reduce_stage(encoded, config, context=context)
+    hardware = _hardware_stage(
+        encoded, reduction, cost_model=cost_model, context=context
     )
     simulation = None
     if simulate:
-        simulation = simulate_decompression(
-            encoding,
-            reduction,
-            encoder.lfsr.transition,
-            encoder.phase_shifter,
-            encoder.architecture,
-        )
-        uncovered = simulation.uncovered_cubes(test_set)
-        if uncovered:
-            raise RuntimeError(
-                f"decompressor simulation left {len(uncovered)} cubes unapplied"
-            )
+        simulation = _simulate_stage(encoded, reduction, context=context)
     return CompressionReport(
         circuit=test_set.name,
         config=config,
-        encoding=encoding,
+        encoding=encoded.encoding,
         reduction=reduction,
         hardware=hardware,
         encoding_verified=verify,
@@ -264,15 +448,28 @@ def compress_profile(
 
 
 def _encode_with_retries(
-    test_set: TestSet, config: CompressionConfig
-) -> "tuple[ReseedingEncoder, EncodingResult]":
-    """Build the encoder, retrying with fresh phase shifters on hard conflicts."""
+    test_set: TestSet, config: CompressionConfig, context: CompressionContext
+) -> "tuple[EncoderSubstrate, EncodingResult]":
+    """Build the encoder, retrying with fresh phase shifters on hard conflicts.
+
+    ``config.lfsr_size`` must already be resolved (non-``None``).  Every
+    attempt's substrate comes from the context cache, so retries with a
+    previously seen phase seed are free.
+    """
     lfsr_size = config.lfsr_size
-    if lfsr_size is None:
-        lfsr_size = test_set.max_specified() + 8
     last_error: Optional[EncodingError] = None
     attempts = config.max_phase_retries + 1
     for attempt in range(attempts):
+        substrate = context.substrate(
+            SubstrateKey(
+                num_cells=test_set.num_cells,
+                num_scan_chains=config.num_scan_chains,
+                lfsr_size=lfsr_size,
+                window_length=config.window_length,
+                phase_taps=config.phase_taps,
+                phase_seed=config.phase_seed + attempt,
+            )
+        )
         encoder = ReseedingEncoder(
             num_cells=test_set.num_cells,
             num_scan_chains=config.num_scan_chains,
@@ -281,9 +478,10 @@ def _encode_with_retries(
             phase_taps=config.phase_taps,
             phase_seed=config.phase_seed + attempt,
             fill_seed=config.fill_seed,
+            substrate=substrate,
         )
         try:
-            return encoder, encoder.encode(test_set)
+            return substrate, encoder.encode(test_set)
         except EncodingError as error:
             last_error = error
     if last_error is None:

@@ -271,10 +271,21 @@ class SequenceReducer:
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
-    def reduce(self, result: EncodingResult, test_set: TestSet) -> ReductionResult:
-        """Run the full reduction on an encoding result."""
+    def reduce(
+        self,
+        result: EncodingResult,
+        test_set: TestSet,
+        windows: Optional[List[List[int]]] = None,
+    ) -> ReductionResult:
+        """Run the full reduction on an encoding result.
+
+        ``windows`` may carry the already-expanded seed windows of the
+        encoding (see :func:`repro.skip.selection.build_embedding_map`);
+        the staged pipeline passes the context-cached expansion so the
+        reducer never re-expands what verification already expanded.
+        """
         embedding = build_embedding_map(
-            result, test_set, self._equations, self._segmentation
+            result, test_set, self._equations, self._segmentation, windows=windows
         )
         selection = select_useful_segments(
             embedding,
@@ -361,6 +372,7 @@ def reduce_sequence(
     speedup: int,
     alignment: str = "exact",
     force_first_segment_useful: bool = True,
+    windows: Optional[List[List[int]]] = None,
 ) -> ReductionResult:
     """One-call State Skip reduction of an encoding result."""
     config = ReductionConfig(
@@ -369,4 +381,6 @@ def reduce_sequence(
         alignment=alignment,
         force_first_segment_useful=force_first_segment_useful,
     )
-    return SequenceReducer(equations, config).reduce(result, test_set)
+    return SequenceReducer(equations, config).reduce(
+        result, test_set, windows=windows
+    )

@@ -22,7 +22,7 @@ decompressor and the reporting need (which segment covers which cube).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.encoding.equations import EquationSystem
 from repro.encoding.results import EncodingResult
@@ -85,17 +85,26 @@ def build_embedding_map(
     test_set: TestSet,
     equations: EquationSystem,
     segmentation: WindowSegmentation,
+    windows: Optional[List[List[int]]] = None,
 ) -> EmbeddingMap:
     """Expand every seed and record every (cube, segment) embedding.
 
     Matching a cube against a fully specified vector is two integer
     operations, so the full scan over cubes x seeds x window positions stays
     cheap even in pure Python.
+
+    ``windows`` may carry the already-expanded seed windows (the
+    :meth:`EquationSystem.expand_seeds` output for the encoding's seeds);
+    when omitted the expansion happens here.  Passing the
+    :class:`~repro.context.CompressionContext`-cached expansion lets an
+    (S, k) sweep over one encoding build many embedding maps without ever
+    re-expanding a seed.
     """
     if segmentation.window_length != result.window_length:
         raise ValueError("segmentation window length does not match the encoding")
     embedding = EmbeddingMap(segmentation=segmentation)
-    windows = equations.expand_seeds([record.seed for record in result.seeds])
+    if windows is None:
+        windows = equations.expand_seeds([record.seed for record in result.seeds])
     cubes = test_set.cubes
     for seed_index, window in enumerate(windows):
         for position, vector in enumerate(window):

@@ -236,6 +236,38 @@ class TestStore:
         with pytest.raises(ValueError, match="corrupt result store"):
             ResultStore(tmp_path)
 
+    def test_stage_timings_and_cache_stats_round_trip(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        store.put(
+            StoredResult(
+                key="k1", job_id="j", circuit="c", fingerprint="f",
+                config=tiny_config.to_dict(), status="ok",
+                summary={"circuit": "c"}, elapsed_s=1.5,
+                stage_timings={"encode": 1.2, "reduce": 0.3},
+                cache_stats={"encoding_hits": 1, "substrate_misses": 1},
+            )
+        )
+        record = ResultStore(tmp_path).get("k1")
+        assert record.stage_timings == {"encode": 1.2, "reduce": 0.3}
+        assert record.cache_stats == {"encoding_hits": 1, "substrate_misses": 1}
+        assert record.elapsed_s == 1.5
+
+    def test_pre_staged_records_stay_loadable(self, tmp_path, tiny_config):
+        """Records written before the staged runner lack the new fields."""
+        import json as json_mod
+
+        old = {
+            "key": "old", "job_id": "j", "circuit": "c", "fingerprint": "f",
+            "config": tiny_config.to_dict(), "status": "ok",
+            "summary": {"circuit": "c"}, "elapsed_s": 2.0,
+        }
+        (tmp_path / "results.jsonl").write_text(json_mod.dumps(old) + "\n")
+        record = ResultStore(tmp_path).get("old")
+        assert record.ok
+        assert record.stage_timings is None
+        assert record.cache_stats is None
+        assert record.elapsed_s == 2.0
+
     def test_key_depends_on_config_and_fingerprint(self, tiny_config):
         other_config = tiny_config.with_updates(speedup=12)
         assert result_key("f1", tiny_config) != result_key("f1", other_config)

@@ -188,18 +188,24 @@ class TestBenchCommand:
 
         encoding = json.loads((out_dir / "BENCH_encoding.json").read_text())
         faultsim = json.loads((out_dir / "BENCH_faultsim.json").read_text())
+        context = json.loads((out_dir / "BENCH_context.json").read_text())
         assert encoding["kernel"] == "encoding" and encoding["cases"]
         assert faultsim["kernel"] == "faultsim" and faultsim["cases"]
-        for case in encoding["cases"] + faultsim["cases"]:
+        assert context["kernel"] == "context" and context["cases"]
+        all_cases = encoding["cases"] + faultsim["cases"] + context["cases"]
+        for case in all_cases:
             assert case["verified"] is True
             assert case["wall_s"] > 0
             assert case["throughput"] > 0
+        # The warm-context sweep must beat the per-job rebuild path.
+        for case in context["cases"]:
+            assert case["speedup"] > 1.0
         # Results land in the campaign store with elapsed_s populated.
         from repro.campaign.store import ResultStore
 
         store = ResultStore(store_dir)
         records = store.records()
-        assert len(records) == len(encoding["cases"]) + len(faultsim["cases"])
+        assert len(records) == len(all_cases)
         assert all(record.elapsed_s > 0 for record in records)
 
         # Self-comparison against the report just written: no regression.
