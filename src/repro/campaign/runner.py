@@ -22,12 +22,15 @@ Design notes
   that would otherwise sit unused).  Per-stage wall times and cache
   hit/miss counts are surfaced in each :class:`JobOutcome` and persisted
   with the stored record.
-* Groups are submitted and collected in deterministic spec order; the store
-  is appended only by the parent, so no file locking is needed.
+* Groups are submitted in deterministic spec order; workers **stream** each
+  job's result back over a manager queue the moment it is computed, and
+  only the parent appends to the store, so no file locking is needed and
+  an interrupted (or hung) campaign keeps everything finished so far.
 * Per-job failures are captured as records (status ``error``) instead of
-  aborting the campaign; a timed-out group is reported (status ``timeout``
-  for each of its jobs) and the pool is terminated at the end so stragglers
-  cannot outlive the campaign.
+  aborting the campaign; when a job genuinely *hangs* (no result from any
+  worker within the inactivity window), only the still-pending jobs are
+  reported as ``timeout`` -- the group's already-streamed results survive
+  -- and the pool is terminated so stragglers cannot outlive the campaign.
 """
 
 from __future__ import annotations
@@ -37,7 +40,8 @@ import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from queue import Empty
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.campaign.spec import CampaignSpec, JobSpec, TestSource
 from repro.campaign.store import (
@@ -163,7 +167,9 @@ def _job_error(index: int, error: str, elapsed_s: float = 0.0) -> Dict[str, obje
     }
 
 
-def _execute_group_payload(payload: Dict[str, object]) -> List[Dict[str, object]]:
+def _execute_group_payload(
+    payload: Dict[str, object], queue=None
+) -> List[Dict[str, object]]:
     """Run one encode-key group of jobs in a worker process.
 
     All jobs of the group share one :class:`CompressionContext`: the first
@@ -171,31 +177,39 @@ def _execute_group_payload(payload: Dict[str, object]) -> List[Dict[str, object]
     hit the context caches and only run their own reduction.  Never raises:
     per-job errors are captured so one failing (S, k) point cannot take the
     group down.  Returns one result dict per job, tagged with the job's
-    campaign index, its stage-timing and its cache-stat deltas.
+    campaign index, its stage-timing and its cache-stat deltas; when
+    ``queue`` is given (the pool path), every result is additionally
+    **pushed onto it the moment it is computed**, so the parent can
+    persist completed work even if a later job of the group hangs.
 
     The per-job ``timeout`` of the payload is enforced *here* as a group
     budget (``timeout * num_jobs``): once the budget is spent, the
-    remaining jobs are reported as ``timeout`` without being started and
-    the completed results of the group are still returned, so a slow
-    group keeps its finished work.  The guarantee is best-effort: a job
-    that *starts* inside the budget but overruns the parent's hard wait
-    (budget + one job of grace) -- a genuine hang, or one pathologically
-    long job -- still loses the group's results for that run (see
-    ROADMAP: streaming per-job results would close this).
+    remaining jobs are reported as ``timeout`` without being started, so a
+    slow group keeps its finished work.  A job that *starts* inside the
+    budget but genuinely hangs is handled by the parent's inactivity
+    window -- only the hung (and not-yet-started) jobs are lost.
     """
+    results: List[Dict[str, object]] = []
+
+    def emit(result: Dict[str, object]) -> None:
+        results.append(result)
+        if queue is not None:
+            queue.put(result)
+
     context = CompressionContext()
     try:
         test_set = TestSet.from_text(payload["test_text"], name=payload["circuit"])
     except Exception:
         error = traceback.format_exc(limit=8)
-        return [_job_error(job["index"], error) for job in payload["jobs"]]
+        for job in payload["jobs"]:
+            emit(_job_error(job["index"], error))
+        return results
     timeout = payload.get("timeout")
     budget = None if timeout is None else timeout * len(payload["jobs"])
     group_start = time.perf_counter()
-    results: List[Dict[str, object]] = []
     for job in payload["jobs"]:
         if budget is not None and time.perf_counter() - group_start >= budget:
-            results.append(
+            emit(
                 {
                     "index": job["index"],
                     "status": STATUS_TIMEOUT,
@@ -219,7 +233,7 @@ def _execute_group_payload(payload: Dict[str, object]) -> List[Dict[str, object]
                 test_set, config, verify=payload["verify"], context=context
             )
             delta = ContextStats.delta(before, context.stats.snapshot())
-            results.append(
+            emit(
                 {
                     "index": job["index"],
                     "status": STATUS_OK,
@@ -239,7 +253,7 @@ def _execute_group_payload(payload: Dict[str, object]) -> List[Dict[str, object]
                 }
             )
         except Exception:
-            results.append(
+            emit(
                 _job_error(
                     job["index"],
                     traceback.format_exc(limit=8),
@@ -298,9 +312,12 @@ class CampaignRunner:
     timeout:
         Per-job wait bound in seconds (``None`` disables).  Jobs sharing an
         encoding run as one worker task, so a group of ``n`` jobs is
-        allowed ``n * timeout`` seconds; a group that exceeds it is
-        reported with status ``timeout`` for each of its jobs and not
-        stored, so a later run retries them.
+        allowed ``n * timeout`` seconds of budget; beyond it the worker
+        reports the unstarted jobs as ``timeout`` itself.  Results are
+        streamed per job, so even when a job genuinely *hangs* (the
+        parent's inactivity window fires) only the hung and
+        not-yet-finished jobs are reported as ``timeout`` and not stored
+        -- a later run retries just those.
     resume:
         When True (default), jobs whose key already has a successful stored
         record are returned as cache hits without recomputation; their
@@ -450,56 +467,137 @@ class CampaignRunner:
             )
         return resolved
 
+    #: Queue poll period of the streaming collector (seconds); bounds how
+    #: long a dead-pool diagnosis can lag behind the last worker exit.
+    _POLL_S = 0.25
+
     def _run_pool(
         self,
         payloads: List[Dict[str, object]],
         finish: Callable[[Dict[str, object]], None],
     ) -> None:
-        """Submit every group and hand per-job results to ``finish``."""
+        """Submit every group and stream per-job results to ``finish``.
+
+        Workers push each job's result onto a manager queue the moment it
+        is computed, so completed work is persisted immediately.  When no
+        result arrives from *any* worker within the inactivity window
+        (per-job timeout x (largest remaining group + 1) -- a bound on how
+        long a healthy worker can legitimately stay silent), the
+        still-pending jobs are reported as ``timeout`` and the pool is
+        terminated: a genuinely hung job loses only itself and the jobs
+        queued behind it, never the results streamed before the hang.
+        """
         context = _pool_context()
+        manager = multiprocessing.Manager()
+        queue = manager.Queue()
+        remaining: Set[int] = {
+            job["index"] for payload in payloads for job in payload["jobs"]
+        }
         pool = context.Pool(processes=min(self._jobs, len(payloads)))
         timed_out = False
         try:
             handles = [
-                pool.apply_async(_execute_group_payload, (payload,))
+                pool.apply_async(_execute_group_payload, (payload, queue))
                 for payload in payloads
             ]
-            for payload, handle in zip(payloads, handles):
-                group_jobs = payload["jobs"]
-                # The worker enforces the group budget itself and returns
-                # completed results; this hard wait (budget + one extra job
-                # allowance of grace) only fires when a job genuinely hangs.
-                hard_timeout = (
-                    None
-                    if self._timeout is None
-                    else self._timeout * (len(group_jobs) + 1)
-                )
-                try:
-                    results = handle.get(timeout=hard_timeout)
-                except multiprocessing.TimeoutError:
+            while remaining:
+                window = self._inactivity_window(payloads, remaining)
+                result, failure = self._next_result(queue, handles, window)
+                if result is not None:
+                    if result["index"] in remaining:
+                        remaining.discard(result["index"])
+                        finish(result)
+                    continue
+                if failure == "timeout":
                     timed_out = True
-                    results = [
-                        {
-                            "index": job["index"],
-                            "status": STATUS_TIMEOUT,
-                            "summary": None,
-                            "error": (
-                                f"job group did not return within "
-                                f"{hard_timeout:.1f}s ({len(group_jobs)} "
-                                f"jobs x {self._timeout:.1f}s + grace); a "
-                                f"job is hanging"
-                            ),
-                            "elapsed_s": self._timeout,
-                            "stage_timings": None,
-                            "cache_stats": None,
-                        }
-                        for job in group_jobs
-                    ]
-                for result in results:
-                    finish(result)
+                    for index in sorted(remaining):
+                        finish(
+                            {
+                                "index": index,
+                                "status": STATUS_TIMEOUT,
+                                "summary": None,
+                                "error": (
+                                    f"no result arrived from any worker "
+                                    f"within {window:.1f}s (per-job timeout "
+                                    f"{self._timeout:.1f}s x largest "
+                                    f"pending group's size + grace); a job "
+                                    f"is hanging -- results streamed before "
+                                    f"the hang were kept"
+                                ),
+                                "elapsed_s": self._timeout,
+                                "stage_timings": None,
+                                "cache_stats": None,
+                            }
+                        )
+                    break
+                # failure == "dead": every worker exited, the queue is
+                # drained, yet jobs are missing -- a worker crashed hard
+                # (killed, segfault).  Surface the first pool exception.
+                error = "worker exited without returning a result"
+                for handle in handles:
+                    try:
+                        handle.get(timeout=0)
+                    except Exception as exc:  # noqa: BLE001 - diagnostic
+                        error = f"{error}: {exc!r}"
+                        break
+                for index in sorted(remaining):
+                    finish(_job_error(index, error))
+                break
         finally:
             if timed_out:
                 pool.terminate()  # don't let stragglers outlive the campaign
             else:
                 pool.close()
             pool.join()
+            manager.shutdown()
+
+    def _inactivity_window(
+        self, payloads: List[Dict[str, object]], remaining: Set[int]
+    ) -> Optional[float]:
+        """Longest silence a healthy pool may show before a hang is declared.
+
+        ``None`` (no per-job timeout) waits forever.  Otherwise the bound
+        is the *full* group budget (plus one job of grace) of the largest
+        group that still has pending jobs -- a single job may legitimately
+        run silent for nearly the whole budget of its group, because the
+        worker only checks the budget *between* jobs.  This matches the
+        tolerance of the pre-streaming per-group hard wait
+        (``timeout * (group size + 1)``); streaming only changes what a
+        hang costs, not when one is declared.
+        """
+        if self._timeout is None:
+            return None
+        largest = max(
+            (
+                len(payload["jobs"])
+                for payload in payloads
+                if any(job["index"] in remaining for job in payload["jobs"])
+            ),
+            default=0,
+        )
+        return self._timeout * (largest + 1)
+
+    def _next_result(
+        self, queue, handles, window: Optional[float]
+    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        """One streamed result, or ``(None, "timeout"|"dead")``.
+
+        Polls the queue so a dead pool (every async handle ready, queue
+        drained, jobs missing) is distinguished from a hang.
+        """
+        deadline = None if window is None else time.perf_counter() + window
+        while True:
+            timeout = self._POLL_S
+            if deadline is not None:
+                left = deadline - time.perf_counter()
+                if left <= 0:
+                    return None, "timeout"
+                timeout = min(self._POLL_S, left)
+            try:
+                return queue.get(timeout=timeout), None
+            except Empty:
+                if all(handle.ready() for handle in handles):
+                    try:  # one final drain: results may have raced the exit
+                        return queue.get_nowait(), None
+                    except Empty:
+                        return None, "dead"

@@ -17,6 +17,20 @@ bits that make LFSR encoding effective.
 The PODEM implementation is the standard objective/backtrace/implication loop
 over three-valued simulation, with a backtrack limit to bound the effort on
 redundant faults.
+
+Two engines drive the loop:
+
+* the default **packed** engine evaluates the good and the faulty machine
+  together in one 2-bit-per-net pass of the two-word ternary core
+  (:mod:`repro.circuits.ternary`), computed once per PODEM decision node and
+  shared by the evaluation, the objective search, the backtrace and the
+  X-path check -- where the reference engine re-ran five dict simulations;
+* ``use_packed=False`` selects the original dict-based engine
+  (:func:`~repro.circuits.simulator.simulate_ternary_reference` semantics).
+
+Both engines take identical decisions at every node, so the produced cubes,
+the detected/redundant/aborted partitions and the coverage figures are
+bit-identical (the golden-equivalence tests enforce this).
 """
 
 from __future__ import annotations
@@ -27,9 +41,19 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.circuits.faults import StuckAtFault, collapse_faults
 from repro.circuits.netlist import GateType, Netlist
-from repro.circuits.simulator import X, simulate_ternary
+from repro.circuits.simulator import X, simulate_ternary_reference
+from repro.circuits.ternary import (
+    OP_AND,
+    OP_OR,
+    PackedPlan,
+    eval_ternary,
+    packed_plan,
+)
 from repro.testdata.cube import TestCube
 from repro.testdata.test_set import TestSet
+
+#: Packed dual-machine patterns: bit 0 = good circuit, bit 1 = faulty.
+_GOOD, _FAULTY, _BOTH = 0b01, 0b10, 0b11
 
 #: Controlling value of each gate type (None when it has none).
 _CONTROLLING = {
@@ -66,12 +90,29 @@ class AtpgResult:
 
 
 class PodemAtpg:
-    """PODEM test generation for single stuck-at faults."""
+    """PODEM test generation for single stuck-at faults.
 
-    def __init__(self, netlist: Netlist, backtrack_limit: int = 200):
+    ``use_packed`` selects the engine: the packed dual-machine evaluation
+    (default) or the original dict-based reference.  Both produce identical
+    cubes for every fault.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        backtrack_limit: int = 200,
+        use_packed: bool = True,
+    ):
         self._netlist = netlist
         self._backtrack_limit = backtrack_limit
+        self._use_packed = use_packed
         self._fanout = netlist.fanout()
+        self._plan: PackedPlan = packed_plan(netlist)
+        # Gate row lookup by output index for the packed backtrace.
+        self._row_by_output = {
+            output: (inputs, inverting)
+            for output, _op, inputs, inverting in self._plan.rows
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -83,7 +124,8 @@ class PodemAtpg:
         """
         assignment: Dict[str, int] = {}
         self._backtracks = 0
-        if self._podem(fault, assignment):
+        podem = self._podem_packed if self._use_packed else self._podem
+        if podem(fault, assignment):
             return dict(assignment)
         return None
 
@@ -144,7 +186,7 @@ class PodemAtpg:
         )
 
     # ------------------------------------------------------------------
-    # PODEM internals
+    # PODEM internals -- reference (dict-based) engine
     # ------------------------------------------------------------------
     def _podem(self, fault: StuckAtFault, assignment: Dict[str, int]) -> bool:
         status = self._evaluate(fault, assignment)
@@ -169,7 +211,7 @@ class PodemAtpg:
 
     def _evaluate(self, fault: StuckAtFault, assignment: Dict[str, int]) -> str:
         """Classify the current partial assignment for the target fault."""
-        good = simulate_ternary(self._netlist, assignment)
+        good = simulate_ternary_reference(self._netlist, assignment)
         faulty = self._faulty_ternary(fault, assignment)
         # Fault activation check.
         activation = good[fault.net]
@@ -234,7 +276,7 @@ class PodemAtpg:
         self, fault: StuckAtFault, assignment: Dict[str, int]
     ) -> Optional[Tuple[str, int]]:
         """Next (net, value) goal: activate the fault, then propagate it."""
-        good = simulate_ternary(self._netlist, assignment)
+        good = simulate_ternary_reference(self._netlist, assignment)
         if good[fault.net] is X:
             return (fault.net, 1 - fault.stuck_value)
         faulty = self._faulty_ternary(fault, assignment)
@@ -263,7 +305,7 @@ class PodemAtpg:
     ) -> Tuple[str, int]:
         """Map an objective back to an unassigned primary input."""
         net, value = objective
-        good = simulate_ternary(self._netlist, assignment)
+        good = simulate_ternary_reference(self._netlist, assignment)
         while net not in self._netlist.inputs:
             gate = self._netlist.gate(net)
             if gate.gate_type.inverting:
@@ -279,6 +321,168 @@ class PodemAtpg:
             net = next_net
         return net, value
 
+    # ------------------------------------------------------------------
+    # PODEM internals -- packed dual-machine engine
+    # ------------------------------------------------------------------
+    def _podem_packed(self, fault: StuckAtFault, assignment: Dict[str, int]) -> bool:
+        """The same decision tree as :meth:`_podem`, on packed state.
+
+        One packed good+faulty evaluation per decision node feeds the
+        status check, the objective search and the backtrace -- the
+        reference engine re-simulated for each of those.
+        """
+        values, cares = self._dual_state(fault, assignment)
+        status = self._evaluate_packed(fault, values, cares)
+        if status == "detected":
+            return True
+        if status == "impossible":
+            return False
+        objective = self._objective_packed(fault, values, cares)
+        if objective is None:
+            return False
+        pi, value = self._backtrace_packed(objective, cares)
+        for candidate in (value, 1 - value):
+            assignment[pi] = candidate
+            if self._podem_packed(fault, assignment):
+                return True
+            self._backtracks += 1
+            if self._backtracks >= self._backtrack_limit:
+                del assignment[pi]
+                return False
+        del assignment[pi]
+        return False
+
+    def _dual_state(
+        self, fault: StuckAtFault, assignment: Dict[str, int]
+    ) -> Tuple[List[int], List[int]]:
+        """Packed 2-bit state of the good (bit 0) and faulty (bit 1) machine."""
+        plan = self._plan
+        values = [0] * plan.num_nets
+        cares = [0] * plan.num_nets
+        nets = plan.nets
+        for i in range(plan.num_inputs):
+            bit = assignment.get(nets[i])
+            if bit is not None:
+                cares[i] = _BOTH
+                if bit:
+                    values[i] = _BOTH
+        fault_index = plan.index[fault.net]
+        stuck = _FAULTY if fault.stuck_value else 0
+        if fault_index < plan.num_inputs:
+            # Input-site fault: force before evaluation (inputs have no row).
+            cares[fault_index] |= _FAULTY
+            values[fault_index] = (values[fault_index] & _GOOD) | stuck
+            eval_ternary(plan, values, cares, _BOTH)
+        else:
+            eval_ternary(
+                plan,
+                values,
+                cares,
+                _BOTH,
+                force_index=fault_index,
+                force_mask=_FAULTY,
+                force_value=stuck,
+            )
+        return values, cares
+
+    def _evaluate_packed(
+        self, fault: StuckAtFault, values: List[int], cares: List[int]
+    ) -> str:
+        """Classify the current packed state for the target fault."""
+        plan = self._plan
+        fault_index = plan.index[fault.net]
+        # Fault activation check (on the good machine).
+        if cares[fault_index] & _GOOD and (values[fault_index] & _GOOD) == (
+            fault.stuck_value & _GOOD
+        ):
+            return "impossible"
+        for output in plan.output_indices:
+            if cares[output] & _BOTH == _BOTH and (
+                values[output] ^ (values[output] >> 1)
+            ) & 1:
+                return "detected"
+        if not self._x_path_exists_packed(values, cares):
+            return "impossible"
+        return "undetermined"
+
+    def _x_path_exists_packed(self, values: List[int], cares: List[int]) -> bool:
+        """True when a difference (or potential one) can still reach a PO."""
+        plan = self._plan
+        sources = [
+            net
+            for net in range(plan.num_nets)
+            if cares[net] & _BOTH == _BOTH and (values[net] ^ (values[net] >> 1)) & 1
+        ]
+        if not sources:
+            # The fault is not activated yet; propagation cannot be ruled out.
+            return True
+        fanout = plan.fanout
+        reachable: Set[int] = set()
+        stack = sources
+        while stack:
+            net = stack.pop()
+            if net in reachable:
+                continue
+            reachable.add(net)
+            for successor in fanout[net]:
+                if cares[successor] & _BOTH != _BOTH or (
+                    values[successor] ^ (values[successor] >> 1)
+                ) & 1:
+                    stack.append(successor)
+        return any(net in reachable for net in plan.output_indices)
+
+    def _objective_packed(
+        self, fault: StuckAtFault, values: List[int], cares: List[int]
+    ) -> Optional[Tuple[int, int]]:
+        """Next (net index, value) goal: activate the fault, then propagate."""
+        plan = self._plan
+        fault_index = plan.index[fault.net]
+        if not cares[fault_index] & _GOOD:
+            return (fault_index, 1 - fault.stuck_value)
+        # D-frontier: gates whose output is X on either machine while some
+        # input carries the fault difference.
+        for output, op, inputs, _inverting in plan.rows:
+            if cares[output] & _BOTH == _BOTH:
+                continue
+            carries_difference = any(
+                cares[src] & _BOTH == _BOTH
+                and (values[src] ^ (values[src] >> 1)) & 1
+                for src in inputs
+            )
+            if not carries_difference:
+                continue
+            if op == OP_AND:
+                non_controlling = 1
+            elif op == OP_OR:
+                non_controlling = 0
+            else:
+                non_controlling = 0
+            for src in inputs:
+                if not cares[src] & _GOOD:
+                    return (src, non_controlling)
+        return None
+
+    def _backtrace_packed(
+        self, objective: Tuple[int, int], cares: List[int]
+    ) -> Tuple[str, int]:
+        """Map an objective back to an unassigned primary input (by name)."""
+        net, value = objective
+        num_inputs = self._plan.num_inputs
+        while net >= num_inputs:
+            inputs, inverting = self._row_by_output[net]
+            if inverting:
+                value = 1 - value
+            # Choose an input with unknown good value to continue the trace.
+            next_net = None
+            for src in inputs:
+                if not cares[src] & _GOOD:
+                    next_net = src
+                    break
+            if next_net is None:
+                next_net = inputs[0]
+            net = next_net
+        return self._plan.nets[net], value
+
     def _assignment_to_cube(self, assignment: Dict[str, int]) -> TestCube:
         indexed = {
             self._netlist.input_index(net): value for net, value in assignment.items()
@@ -289,7 +493,12 @@ class PodemAtpg:
 
 
 def generate_test_set_for_netlist(
-    netlist: Netlist, backtrack_limit: int = 200, fill_seed: int = 1
+    netlist: Netlist,
+    backtrack_limit: int = 200,
+    fill_seed: int = 1,
+    use_packed: bool = True,
 ) -> AtpgResult:
     """Convenience wrapper: collapsed faults, PODEM, fault dropping."""
-    return PodemAtpg(netlist, backtrack_limit=backtrack_limit).run(fill_seed=fill_seed)
+    return PodemAtpg(
+        netlist, backtrack_limit=backtrack_limit, use_packed=use_packed
+    ).run(fill_seed=fill_seed)

@@ -238,21 +238,28 @@ class FaultSimulator:
     def _simulate_with_fault(
         self, words: Dict[str, int], num_patterns: int, fault: StuckAtFault
     ) -> Dict[str, int]:
+        """Dense faulty-circuit evaluation via the shared packed overlay.
+
+        The stuck-at injection is the same overlay PODEM's faulty machine
+        uses (:func:`repro.circuits.ternary.eval_binary` forcing): input
+        sites are forced before the plan runs, gate sites right after their
+        row evaluates.
+        """
+        from repro.circuits.ternary import eval_binary, packed_plan
+
         mask = (1 << num_patterns) - 1
         stuck_word = mask if fault.stuck_value else 0
-        if fault.net in self._netlist.inputs:
-            injected = dict(words)
-            injected[fault.net] = stuck_word
-            return simulate_parallel(self._netlist, injected, num_patterns)
-        # Fault on a gate output: evaluate normally but force the net after
-        # its gate is evaluated.  Re-using simulate_parallel would lose the
-        # forcing, so the evaluation is inlined here.
-        from repro.circuits.simulator import _eval_parallel
-
-        values = {net: words[net] & mask for net in self._netlist.inputs}
-        for gate in self._netlist.gates():
-            value = _eval_parallel(gate, values, mask)
-            if gate.output == fault.net:
-                value = stuck_word
-            values[gate.output] = value
-        return values
+        plan = packed_plan(self._netlist)
+        values = [0] * plan.num_nets
+        nets = plan.nets
+        for i in range(plan.num_inputs):
+            values[i] = words[nets[i]] & mask
+        fault_index = plan.index[fault.net]
+        if fault_index < plan.num_inputs:
+            values[fault_index] = stuck_word
+            eval_binary(plan, values, mask)
+        else:
+            eval_binary(
+                plan, values, mask, force_index=fault_index, force_word=stuck_word
+            )
+        return dict(zip(nets, values))

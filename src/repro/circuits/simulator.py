@@ -10,93 +10,115 @@ Three entry points cover the needs of the package:
   word width of patterns at once (each net value is a packed integer whose
   bit ``p`` is the value under pattern ``p``); this is what makes fault
   simulation of thousands of patterns practical in pure Python.
+
+All three are thin façades over the packed two-word engine of
+:mod:`repro.circuits.ternary`: one compiled evaluation plan, one pair of
+inner loops (binary and 01X), shared with PODEM's incremental state and the
+fault simulator's overlays.  The original dict-based three-valued evaluator
+is kept as :func:`simulate_ternary_reference` -- the golden-equivalence
+tests check the packed engine against it on randomized netlists, and it
+remains selectable wherever bit-level archaeology is needed.
 """
 
 from __future__ import annotations
 
-from weakref import WeakKeyDictionary
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.netlist import Gate, GateType, Netlist
+from repro.circuits.ternary import (
+    OP_AND as _OP_AND,
+    OP_BUF as _OP_BUF,
+    OP_OR as _OP_OR,
+    OP_XOR as _OP_XOR,
+    PlanRow,
+    eval_binary,
+    eval_ternary,
+    evaluation_plan,
+    packed_plan,
+    seed_ternary_inputs,
+    ternary_state_to_dict,
+)
+
+__all__ = [
+    "X",
+    "evaluation_plan",
+    "pack_patterns",
+    "simulate",
+    "simulate_parallel",
+    "simulate_ternary",
+    "simulate_ternary_reference",
+]
 
 #: The unknown value of three-valued simulation.
 X = None
 
-#: Opcodes of the compiled pattern-parallel evaluation plan.
-_OP_AND, _OP_OR, _OP_XOR, _OP_BUF = 0, 1, 2, 3
-
-_OPCODE = {
-    GateType.AND: _OP_AND,
-    GateType.NAND: _OP_AND,
-    GateType.OR: _OP_OR,
-    GateType.NOR: _OP_OR,
-    GateType.XOR: _OP_XOR,
-    GateType.XNOR: _OP_XOR,
-    GateType.BUF: _OP_BUF,
-    GateType.NOT: _OP_BUF,
-}
-
-#: Plan rows: ``(output, opcode, inputs, inverting)`` in evaluation order.
-PlanRow = Tuple[str, int, Tuple[str, ...], bool]
-
-_PLAN_CACHE: "WeakKeyDictionary[Netlist, List[PlanRow]]" = WeakKeyDictionary()
-
-
-def evaluation_plan(netlist: Netlist) -> List[PlanRow]:
-    """The netlist's gates compiled to flat dispatch rows, cached.
-
-    Resolving gate type to an opcode + inverting flag once per netlist (and
-    not per gate visit) is what keeps the pattern-parallel inner loop to a
-    few integer operations per gate.
-    """
-    plan = _PLAN_CACHE.get(netlist)
-    if plan is None:
-        plan = [
-            (
-                gate.output,
-                _OPCODE[gate.gate_type],
-                gate.inputs,
-                gate.gate_type.inverting,
-            )
-            for gate in netlist.gate_sequence()
-        ]
-        _PLAN_CACHE[netlist] = plan
-    return plan
-
-
-def _eval_binary(gate: Gate, values: Dict[str, int]) -> int:
-    operands = [values[net] for net in gate.inputs]
-    gate_type = gate.gate_type
-    if gate_type in (GateType.AND, GateType.NAND):
-        result = all(operands)
-    elif gate_type in (GateType.OR, GateType.NOR):
-        result = any(operands)
-    elif gate_type in (GateType.XOR, GateType.XNOR):
-        result = sum(operands) % 2 == 1
-    elif gate_type in (GateType.BUF, GateType.NOT):
-        result = bool(operands[0])
-    else:  # pragma: no cover - enum is exhaustive
-        raise ValueError(f"unsupported gate type {gate_type}")
-    if gate_type.inverting:
-        result = not result
-    return int(result)
-
 
 def simulate(netlist: Netlist, input_values: Dict[str, int]) -> Dict[str, int]:
     """Two-valued simulation of a single fully specified input vector."""
-    values: Dict[str, int] = {}
-    for net in netlist.inputs:
+    plan = packed_plan(netlist)
+    values = [0] * plan.num_nets
+    nets = plan.nets
+    for i in range(plan.num_inputs):
+        net = nets[i]
         if net not in input_values:
             raise ValueError(f"missing value for primary input {net!r}")
         bit = input_values[net]
         if bit not in (0, 1):
             raise ValueError(f"input {net!r} must be 0 or 1, got {bit!r}")
-        values[net] = bit
-    for gate in netlist.gates():
-        values[gate.output] = _eval_binary(gate, values)
-    return values
+        values[i] = bit
+    eval_binary(plan, values, 1)
+    return dict(zip(nets, values))
 
 
+def simulate_ternary(
+    netlist: Netlist, input_values: Dict[str, Optional[int]]
+) -> Dict[str, Optional[int]]:
+    """Three-valued (0/1/X) simulation; missing inputs default to X."""
+    plan = packed_plan(netlist)
+    values, cares = seed_ternary_inputs(plan, input_values)
+    eval_ternary(plan, values, cares, 1)
+    return ternary_state_to_dict(plan, values, cares)
+
+
+def simulate_parallel(
+    netlist: Netlist, input_words: Dict[str, int], num_patterns: int
+) -> Dict[str, int]:
+    """Bit-parallel simulation of ``num_patterns`` patterns at once.
+
+    ``input_words[net]`` packs the value of ``net`` under pattern ``p`` into
+    bit ``p``.  The return value uses the same packing for every net of the
+    circuit.
+    """
+    if num_patterns < 1:
+        raise ValueError("num_patterns must be positive")
+    mask = (1 << num_patterns) - 1
+    plan = packed_plan(netlist)
+    values = [0] * plan.num_nets
+    nets = plan.nets
+    for i in range(plan.num_inputs):
+        net = nets[i]
+        if net not in input_words:
+            raise ValueError(f"missing packed value for primary input {net!r}")
+        values[i] = input_words[net] & mask
+    eval_binary(plan, values, mask)
+    return dict(zip(nets, values))
+
+
+def pack_patterns(
+    netlist: Netlist, patterns: Sequence[Dict[str, int]]
+) -> Dict[str, int]:
+    """Pack a list of per-pattern input assignments into parallel words."""
+    words = {net: 0 for net in netlist.inputs}
+    for position, pattern in enumerate(patterns):
+        for net in netlist.inputs:
+            if pattern.get(net, 0):
+                words[net] |= 1 << position
+    return words
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (dict-based, pre-packed-core)
+# ----------------------------------------------------------------------
 def _eval_ternary(gate: Gate, values: Dict[str, Optional[int]]) -> Optional[int]:
     operands = [values[net] for net in gate.inputs]
     gate_type = gate.gate_type
@@ -128,10 +150,10 @@ def _eval_ternary(gate: Gate, values: Dict[str, Optional[int]]) -> Optional[int]
     return result
 
 
-def simulate_ternary(
+def simulate_ternary_reference(
     netlist: Netlist, input_values: Dict[str, Optional[int]]
 ) -> Dict[str, Optional[int]]:
-    """Three-valued (0/1/X) simulation; missing inputs default to X."""
+    """The pre-packed-core dict evaluator (golden reference for the engine)."""
     values: Dict[str, Optional[int]] = {}
     for net in netlist.inputs:
         bit = input_values.get(net, X)
@@ -141,73 +163,3 @@ def simulate_ternary(
     for gate in netlist.gates():
         values[gate.output] = _eval_ternary(gate, values)
     return values
-
-
-def _eval_parallel(gate: Gate, values: Dict[str, int], mask: int) -> int:
-    operands = [values[net] for net in gate.inputs]
-    gate_type = gate.gate_type
-    if gate_type in (GateType.AND, GateType.NAND):
-        result = mask
-        for value in operands:
-            result &= value
-    elif gate_type in (GateType.OR, GateType.NOR):
-        result = 0
-        for value in operands:
-            result |= value
-    elif gate_type in (GateType.XOR, GateType.XNOR):
-        result = 0
-        for value in operands:
-            result ^= value
-    else:  # BUF / NOT
-        result = operands[0]
-    if gate_type.inverting:
-        result = ~result & mask
-    return result & mask
-
-
-def simulate_parallel(
-    netlist: Netlist, input_words: Dict[str, int], num_patterns: int
-) -> Dict[str, int]:
-    """Bit-parallel simulation of ``num_patterns`` patterns at once.
-
-    ``input_words[net]`` packs the value of ``net`` under pattern ``p`` into
-    bit ``p``.  The return value uses the same packing for every net of the
-    circuit.
-    """
-    if num_patterns < 1:
-        raise ValueError("num_patterns must be positive")
-    mask = (1 << num_patterns) - 1
-    values: Dict[str, int] = {}
-    for net in netlist.inputs:
-        if net not in input_words:
-            raise ValueError(f"missing packed value for primary input {net!r}")
-        values[net] = input_words[net] & mask
-    for output, op, inputs, inverting in evaluation_plan(netlist):
-        if op == _OP_AND:
-            result = mask
-            for net in inputs:
-                result &= values[net]
-        elif op == _OP_OR:
-            result = 0
-            for net in inputs:
-                result |= values[net]
-        elif op == _OP_XOR:
-            result = 0
-            for net in inputs:
-                result ^= values[net]
-        else:
-            result = values[inputs[0]]
-        values[output] = ~result & mask if inverting else result
-    return values
-
-
-def pack_patterns(
-    netlist: Netlist, patterns: Sequence[Dict[str, int]]
-) -> Dict[str, int]:
-    """Pack a list of per-pattern input assignments into parallel words."""
-    words = {net: 0 for net in netlist.inputs}
-    for position, pattern in enumerate(patterns):
-        for net in netlist.inputs:
-            if pattern.get(net, 0):
-                words[net] |= 1 << position
-    return words

@@ -1,0 +1,294 @@
+"""Packed two-word ternary (01X) simulation core.
+
+Every simulator of the package -- plain 0/1 simulation, three-valued PODEM
+simulation and pattern-parallel fault simulation -- evaluates the same
+topologically ordered gate plan.  This module is the one engine behind all
+of them.
+
+Representation
+--------------
+A ternary signal is packed into **two words per net**: a *value* word and a
+*care* word.  Bit ``p`` of the care word is 0 when the signal is ``X`` under
+pattern ``p`` and 1 when it carries the known value stored in bit ``p`` of
+the value word (value bits are always masked to 0 where the care bit is 0,
+so equal states compare equal).  Words are plain Python integers, so the
+pattern width is arbitrary: PODEM packs the good and the faulty machine into
+a 2-bit word, fault simulation packs hundreds of patterns, and the uint64
+blocks of the numpy embedding-matching layer are just this encoding sliced
+into 64-bit words (see :meth:`repro.testdata.cube.TestCube.packed_words`).
+
+Two-valued simulation is the ``care == mask`` special case; its inner loop
+drops the care accumulator entirely, which keeps the binary fault-simulation
+kernel at the exact operation count it had before this core existed.
+
+Gate rules (the standard pessimistic 01X algebra)
+-------------------------------------------------
+* AND: known-0 when any input is known-0, known-1 when all inputs are
+  known-1, else X -- ``care = zero_any | one_all``, ``value = one_all``.
+* OR: dual of AND -- ``care = one_any | zero_all``, ``value = one_any``.
+* XOR: known only when every input is known -- ``care = AND(cares)``,
+  ``value = XOR(values) & care``.
+* BUF: pass-through.  Inverting types flip ``value`` inside ``care``.
+
+Fault overlays
+--------------
+Single stuck-at faults are injected as an *overlay*: after a net's gate is
+evaluated (or before the plan runs, for primary-input sites), the net is
+forced to ``care |= force_mask`` / ``value = stuck`` on the overlay
+patterns only.  The same overlay drives PODEM's faulty machine (bit 1 of
+its 2-bit word) and the dense reference path of the fault simulator.
+
+The compiled plan (:func:`packed_plan`) indexes nets by position --
+primary inputs first, then gate outputs in evaluation order -- so the hot
+loops run on flat lists instead of name dictionaries.
+"""
+
+from __future__ import annotations
+
+from weakref import WeakKeyDictionary
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.netlist import GateType, Netlist
+
+#: Opcodes of the compiled evaluation plans (shared by every simulator).
+OP_AND, OP_OR, OP_XOR, OP_BUF = 0, 1, 2, 3
+
+_OPCODE = {
+    GateType.AND: OP_AND,
+    GateType.NAND: OP_AND,
+    GateType.OR: OP_OR,
+    GateType.NOR: OP_OR,
+    GateType.XOR: OP_XOR,
+    GateType.XNOR: OP_XOR,
+    GateType.BUF: OP_BUF,
+    GateType.NOT: OP_BUF,
+}
+
+#: Name-based plan rows: ``(output, opcode, inputs, inverting)`` in
+#: evaluation order (the fault simulator's fanout cones slice these).
+PlanRow = Tuple[str, int, Tuple[str, ...], bool]
+
+_PLAN_CACHE: "WeakKeyDictionary[Netlist, List[PlanRow]]" = WeakKeyDictionary()
+
+
+def evaluation_plan(netlist: Netlist) -> List[PlanRow]:
+    """The netlist's gates compiled to flat dispatch rows, cached.
+
+    Resolving gate type to an opcode + inverting flag once per netlist (and
+    not per gate visit) is what keeps every packed inner loop to a few
+    integer operations per gate.
+    """
+    plan = _PLAN_CACHE.get(netlist)
+    if plan is None:
+        plan = [
+            (
+                gate.output,
+                _OPCODE[gate.gate_type],
+                gate.inputs,
+                gate.gate_type.inverting,
+            )
+            for gate in netlist.gate_sequence()
+        ]
+        _PLAN_CACHE[netlist] = plan
+    return plan
+
+
+#: Plan rows with integer net indices: ``(output, opcode, inputs, inverting)``.
+IndexedRow = Tuple[int, int, Tuple[int, ...], bool]
+
+
+class PackedPlan:
+    """The compiled, integer-indexed evaluation plan of one netlist.
+
+    Net index order is :meth:`Netlist.nets`: primary inputs first (in input
+    order), then gate outputs in topological order -- so ``rows`` can be
+    evaluated front to back over one flat state list.
+    """
+
+    __slots__ = (
+        "netlist",
+        "nets",
+        "index",
+        "rows",
+        "num_inputs",
+        "num_nets",
+        "output_indices",
+        "fanout",
+    )
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.nets: List[str] = netlist.nets()
+        self.index: Dict[str, int] = {net: i for i, net in enumerate(self.nets)}
+        self.num_inputs = netlist.num_inputs
+        self.num_nets = len(self.nets)
+        index = self.index
+        self.rows: List[IndexedRow] = [
+            (index[output], op, tuple(index[net] for net in inputs), inverting)
+            for output, op, inputs, inverting in evaluation_plan(netlist)
+        ]
+        self.output_indices: Tuple[int, ...] = tuple(
+            index[net] for net in netlist.outputs
+        )
+        fanout = netlist.fanout()
+        self.fanout: List[Tuple[int, ...]] = [
+            tuple(index[reader] for reader in fanout[net]) for net in self.nets
+        ]
+
+
+_PACKED_PLAN_CACHE: "WeakKeyDictionary[Netlist, PackedPlan]" = WeakKeyDictionary()
+
+
+def packed_plan(netlist: Netlist) -> PackedPlan:
+    """The netlist's :class:`PackedPlan`, built once and cached."""
+    plan = _PACKED_PLAN_CACHE.get(netlist)
+    if plan is None:
+        plan = PackedPlan(netlist)
+        _PACKED_PLAN_CACHE[netlist] = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Engine cores
+# ----------------------------------------------------------------------
+def eval_binary(
+    plan: PackedPlan,
+    values: List[int],
+    mask: int,
+    force_index: int = -1,
+    force_word: int = 0,
+) -> None:
+    """Two-valued pattern-parallel evaluation over a pre-seeded state list.
+
+    ``values[0:num_inputs]`` must hold the packed primary-input words; gate
+    entries are written in place.  ``force_index >= 0`` overlays a stuck-at
+    fault: that net is forced to ``force_word`` on every pattern (after its
+    gate is evaluated; input sites must be forced by the caller before the
+    call, since inputs have no plan row).
+    """
+    for output, op, inputs, inverting in plan.rows:
+        if op == OP_AND:
+            result = mask
+            for net in inputs:
+                result &= values[net]
+        elif op == OP_OR:
+            result = 0
+            for net in inputs:
+                result |= values[net]
+        elif op == OP_XOR:
+            result = 0
+            for net in inputs:
+                result ^= values[net]
+        else:
+            result = values[inputs[0]]
+        if inverting:
+            result = ~result & mask
+        values[output] = force_word if output == force_index else result
+
+
+def eval_ternary(
+    plan: PackedPlan,
+    values: List[int],
+    cares: List[int],
+    mask: int,
+    force_index: int = -1,
+    force_mask: int = 0,
+    force_value: int = 0,
+) -> None:
+    """Three-valued (01X) evaluation over pre-seeded ``(value, care)`` lists.
+
+    Input entries ``[0:num_inputs]`` must be seeded (care bit 0 = X); gate
+    entries are written in place.  Value bits are kept masked to the care
+    bits, so states are canonical and directly comparable.
+
+    A fault overlay ``(force_index, force_mask, force_value)`` forces the
+    net at ``force_index`` to the known value ``force_value`` on the
+    patterns selected by ``force_mask`` -- the PODEM faulty machine passes
+    ``force_mask = 0b10`` to poison only its own bit of the shared word.
+    Input-site overlays must again be applied by the caller before the call.
+    """
+    for output, op, inputs, inverting in plan.rows:
+        if op == OP_AND:
+            # known-0 when any input is known-0; known-1 when all are known-1
+            zero_any = 0
+            one_all = mask
+            for net in inputs:
+                care = cares[net]
+                value = values[net]
+                zero_any |= care & ~value
+                one_all &= value
+            care = (zero_any | one_all) & mask
+            value = one_all & care
+        elif op == OP_OR:
+            one_any = 0
+            zero_all = mask
+            for net in inputs:
+                care = cares[net]
+                value = values[net]
+                one_any |= value
+                zero_all &= care & ~value
+            care = (one_any | zero_all) & mask
+            value = one_any & care
+        elif op == OP_XOR:
+            care = mask
+            value = 0
+            for net in inputs:
+                care &= cares[net]
+                value ^= values[net]
+            value &= care
+        else:
+            care = cares[inputs[0]]
+            value = values[inputs[0]]
+        if inverting:
+            value = ~value & care
+        if output == force_index:
+            care |= force_mask
+            value = (value & ~force_mask) | (force_value & force_mask)
+        cares[output] = care
+        values[output] = value
+
+
+# ----------------------------------------------------------------------
+# Packing helpers
+# ----------------------------------------------------------------------
+def seed_ternary_inputs(
+    plan: PackedPlan,
+    input_values: Dict[str, Optional[int]],
+    patterns: int = 1,
+) -> Tuple[List[int], List[int]]:
+    """Fresh ``(values, cares)`` state lists seeded from a 0/1/X input dict.
+
+    Missing inputs default to X.  Each specified input is replicated across
+    all ``patterns`` bits (the PODEM dual machine then overlays its faulty
+    pattern on top).
+    """
+    full = (1 << patterns) - 1
+    values = [0] * plan.num_nets
+    cares = [0] * plan.num_nets
+    nets = plan.nets
+    for i in range(plan.num_inputs):
+        bit = input_values.get(nets[i], None)
+        if bit is None:
+            continue
+        if bit not in (0, 1):
+            raise ValueError(
+                f"input {nets[i]!r} must be 0, 1 or None, got {bit!r}"
+            )
+        cares[i] = full
+        if bit:
+            values[i] = full
+    return values, cares
+
+
+def ternary_state_to_dict(
+    plan: PackedPlan, values: Sequence[int], cares: Sequence[int], pattern: int = 0
+) -> Dict[str, Optional[int]]:
+    """One pattern of a packed ternary state as the classic 0/1/None dict."""
+    bit = 1 << pattern
+    out: Dict[str, Optional[int]] = {}
+    for i, net in enumerate(plan.nets):
+        if cares[i] & bit:
+            out[net] = 1 if values[i] & bit else 0
+        else:
+            out[net] = None
+    return out

@@ -24,13 +24,16 @@ Python:
 
 ``atpg``
     Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
-    random circuit) and write the resulting test-cube file.
+    random circuit) and write the resulting test-cube file.  Runs on the
+    packed two-word ternary core by default; ``--reference`` selects the
+    original dict-based engine (identical cubes, for cross-checks).
 
 ``bench``
-    Benchmark the two hot kernels (encoding solvability scan, parallel-
-    pattern fault simulation), write ``BENCH_encoding.json`` /
-    ``BENCH_faultsim.json``, and optionally fail on a regression against a
-    committed baseline directory.
+    Benchmark the hot kernels (encoding solvability scan, parallel-pattern
+    fault simulation, PODEM on the packed ternary core, warm-sweep
+    embedding matching, context encode-reuse), write the ``BENCH_*.json``
+    reports, and optionally fail on a regression against a committed
+    baseline directory.
 
 Examples
 --------
@@ -276,7 +279,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     cache = result.cache_stat_totals()
     if cache:
         parts = []
-        for kind in ("substrate", "encoding", "window"):
+        for kind in ("substrate", "encoding", "window", "packed_window"):
             hits = cache.get(f"{kind}_hits", 0)
             misses = cache.get(f"{kind}_misses", 0)
             if hits or misses:
@@ -303,7 +306,9 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         netlist = random_netlist(
             "generated", num_inputs=args.inputs, num_gates=args.gates, seed=args.seed
         )
-    result = generate_test_set_for_netlist(netlist, fill_seed=args.seed)
+    result = generate_test_set_for_netlist(
+        netlist, fill_seed=args.seed, use_packed=not args.reference
+    )
     stats = result.test_set.stats()
     print(
         f"{netlist.name}: {netlist.num_gates} gates, "
@@ -455,6 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="gates of the generated circuit (no --bench)")
     atpg_parser.add_argument("--seed", type=int, default=1)
     atpg_parser.add_argument("--output", help="write the cube file here")
+    atpg_parser.add_argument(
+        "--reference", action="store_true",
+        help="use the dict-based reference PODEM engine instead of the "
+             "packed ternary core (identical cubes, ~10x slower)",
+    )
     atpg_parser.set_defaults(func=_cmd_atpg)
 
     bench_parser = sub.add_parser(

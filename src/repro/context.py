@@ -110,7 +110,12 @@ class CompressionContext:
 
     * ``substrate``: :class:`EncoderSubstrate` by :class:`SubstrateKey`;
     * ``windows``: expanded seed windows by ``(SubstrateKey, seed values)``
-      -- the seed-value tuple is the content fingerprint of the seeds;
+      -- the seed-value tuple is the content fingerprint of the seeds.
+      The uint64-blocked form (:meth:`packed_windows`) is the primary
+      artifact -- the BLAS expansion happens there -- and the integer form
+      (:meth:`expanded_windows`) is a cheap derived view cached alongside
+      it, so verification (integers) and the embedding matcher (packed
+      blocks) share one expansion;
     * ``encoding``: full encode-stage results (substrate + seeds +
       verification flag) by ``(test-set fingerprint, encode-relevant config
       key)`` -- this is what lets a warm (S, k) sweep skip the seed
@@ -129,6 +134,7 @@ class CompressionContext:
         self._substrates = LRUCache(max_substrates)
         self._encodings = LRUCache(max_encodings)
         self._windows = LRUCache(max_windows)
+        self._packed_windows = LRUCache(max_windows)
 
     # ------------------------------------------------------------------
     # Substrate cache
@@ -183,6 +189,31 @@ class CompressionContext:
     # ------------------------------------------------------------------
     # Expanded-window cache
     # ------------------------------------------------------------------
+    def packed_windows(
+        self, substrate: EncoderSubstrate, seeds: Sequence["BitVector"]
+    ):
+        """The uint64-blocked windows of ``seeds``, expanded at most once.
+
+        A ``(num_seeds, L, num_words)`` uint64 array (exactly
+        :meth:`~repro.encoding.equations.EquationSystem.expand_seeds_packed`)
+        -- the form the vectorized embedding matcher consumes.  This is
+        where the BLAS expansion actually runs; :meth:`expanded_windows`
+        derives its integers from this cache.  The result is shared --
+        treat it as immutable.
+        """
+        key = (substrate.key, tuple(seed.value for seed in seeds))
+        cached = self._packed_windows.get(key) if self.caching else None
+        if cached is not None:
+            self.stats.count("packed_window_hits")
+            return cached
+        self.stats.count("packed_window_misses")
+        start = time.perf_counter()
+        packed = substrate.equations.expand_seeds_packed(list(seeds))
+        self.stats.add_timing("expand_seeds", time.perf_counter() - start)
+        if self.caching:
+            self._packed_windows.put(key, packed)
+        return packed
+
     def expanded_windows(
         self, substrate: EncoderSubstrate, seeds: Sequence["BitVector"]
     ) -> List[List[int]]:
@@ -191,17 +222,20 @@ class CompressionContext:
         Entry ``[s][v]`` is the packed test vector of seed ``s`` at window
         position ``v`` (exactly
         :meth:`~repro.encoding.equations.EquationSystem.expand_seeds`).
-        The result is shared -- treat it as immutable.
+        Derived from the :meth:`packed_windows` cache, so the integer and
+        the uint64-blocked consumers share one BLAS expansion.  The result
+        is shared -- treat it as immutable.
         """
+        from repro.encoding.equations import windows_from_packed
+
         key = (substrate.key, tuple(seed.value for seed in seeds))
         cached = self._windows.get(key) if self.caching else None
         if cached is not None:
             self.stats.count("window_hits")
             return cached
         self.stats.count("window_misses")
-        start = time.perf_counter()
-        windows = substrate.equations.expand_seeds(list(seeds))
-        self.stats.add_timing("expand_seeds", time.perf_counter() - start)
+        packed = self.packed_windows(substrate, seeds)
+        windows = windows_from_packed(packed)
         if self.caching:
             self._windows.put(key, windows)
         return windows
@@ -214,3 +248,4 @@ class CompressionContext:
         self._substrates.clear()
         self._encodings.clear()
         self._windows.clear()
+        self._packed_windows.clear()

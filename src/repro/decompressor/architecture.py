@@ -18,12 +18,27 @@ The outcome reports the applied-vector count (which must equal the reduction's
 TSL accounting) and the set of fully-shifted useful vectors, which must cover
 every cube of the original test set -- the end-to-end correctness check of
 the whole flow.
+
+Two datapath models replay the schedule:
+
+* the **batched** model (default) advances the LFSR and applies the phase
+  shifter a whole segment at a time: the segment's register states come from
+  a doubling ladder of GF(2) matmuls, all phase-shifter outputs of the
+  segment are one BLAS product, and captured vectors / scan-chain contents
+  are numpy gathers -- this is what makes ``simulate`` usable inside large
+  campaigns;
+* ``batched=False`` selects the original clock-by-clock reference
+  (:meth:`Decompressor.shift_clock` per cycle), kept as the golden
+  reference -- both produce identical :class:`SimulationOutcome`\\ s,
+  vector for vector.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import GF2Matrix
@@ -128,11 +143,118 @@ class Decompressor:
         self._lfsr.set_mode(mode)
 
 
-class DecompressionController:
-    """The counter-based controller that sequences seeds and segments."""
+class _BatchedDatapath:
+    """Segment-batched numpy model of the State Skip datapath.
+
+    Bit-exact with per-clock operation of :class:`Decompressor`: the LFSR
+    states of a run are built by a doubling ladder of GF(2) matrix products
+    (``[s, Ms, M^2 s, ...]`` doubles with one matmul per step), the phase
+    shifter is applied to the whole run in a single BLAS product, and the
+    scan-chain shift registers / captured vectors are reconstructed from
+    the output matrix by pure indexing.
+    """
 
     def __init__(self, decompressor: Decompressor):
+        from repro.encoding.equations import _matrix_to_numpy
+
+        arch = decompressor.architecture
+        transition = decompressor.lfsr.transition
+        self._n = transition.ncols
+        self._chain_length = arch.chain_length
+        self._num_chains = arch.num_chains
+        # Mode matrices (float32 0/1 for the exact BLAS-backed products)
+        # and their doubling ladders M^(2^i), extended on demand.
+        self._powers = {
+            "normal": [_matrix_to_numpy(transition).astype(np.float32)],
+            "skip": [
+                _matrix_to_numpy(
+                    decompressor.lfsr.skip_circuit.matrix
+                ).astype(np.float32)
+            ],
+        }
+        self._phase = _matrix_to_numpy(decompressor.phase_shifter.matrix)[
+            : self._num_chains
+        ].astype(np.float32)
+        # Scan-chain registers: [j, d] = value at depth d of chain j.
+        self._chains = np.zeros(
+            (self._num_chains, self._chain_length), dtype=np.uint8
+        )
+        self._state = np.zeros((self._n, 1), dtype=np.float32)
+        cells = np.arange(arch.num_cells)
+        self._cell_chain = cells % self._num_chains
+        self._cell_depth = cells // self._num_chains
+
+    def load_seed(self, seed: BitVector) -> None:
+        col = np.zeros((self._n, 1), dtype=np.float32)
+        for index in seed.support():
+            col[index, 0] = 1.0
+        self._state = col
+
+    @staticmethod
+    def _gf2(counts: np.ndarray) -> np.ndarray:
+        return (counts.astype(np.uint32) & 1).astype(np.float32)
+
+    def run(self, clocks: int, mode: str) -> np.ndarray:
+        """Advance ``clocks`` cycles in ``mode``; returns the outputs.
+
+        The returned ``(num_chains, clocks)`` uint8 matrix holds the
+        phase-shifter output of every cycle (column ``t`` is what entered
+        the chains on cycle ``t``); the register state and the chain
+        contents are updated exactly as ``clocks`` calls of
+        :meth:`Decompressor.shift_clock` would leave them.
+        """
+        if clocks == 0:
+            return np.zeros((self._num_chains, 0), dtype=np.uint8)
+        powers = self._powers[mode]
+        cols = self._state
+        level = 0
+        while cols.shape[1] < clocks + 1:
+            while len(powers) <= level:
+                doubled = powers[-1] @ powers[-1]
+                powers.append(self._gf2(doubled))
+            cols = np.concatenate([cols, self._gf2(powers[level] @ cols)], axis=1)
+            level += 1
+        outputs = self._gf2(self._phase @ cols[:, :clocks]).astype(np.uint8)
+        self._state = cols[:, clocks : clocks + 1]
+        r = self._chain_length
+        if clocks >= r:
+            self._chains = outputs[:, clocks - r : clocks][:, ::-1]
+        else:
+            self._chains = np.concatenate(
+                [outputs[:, ::-1], self._chains[:, : r - clocks]], axis=1
+            )
+        return outputs
+
+    def captured_vectors(
+        self, outputs: np.ndarray, num_vectors: int
+    ) -> List[int]:
+        """The packed test vectors captured after each ``r``-clock load."""
+        r = self._chain_length
+        offsets = (
+            (np.arange(1, num_vectors + 1) * r)[:, None]
+            - 1
+            - self._cell_depth[None, :]
+        )
+        bits = outputs[self._cell_chain[None, :], offsets]
+        packed = np.packbits(bits, axis=1, bitorder="little")
+        return [
+            int.from_bytes(packed[i].tobytes(), "little")
+            for i in range(num_vectors)
+        ]
+
+
+class DecompressionController:
+    """The counter-based controller that sequences seeds and segments.
+
+    ``batched=True`` runs the schedule on the segment-batched numpy
+    datapath (:class:`_BatchedDatapath`); the default replays it clock by
+    clock through the :class:`Decompressor` -- the two produce identical
+    outcomes.
+    """
+
+    def __init__(self, decompressor: Decompressor, batched: bool = False):
         self._decompressor = decompressor
+        self._batched = _BatchedDatapath(decompressor) if batched else None
 
     def run(
         self,
@@ -186,7 +308,10 @@ class DecompressionController:
             for seed_index in seed_indices:
                 record = encoding.seeds[seed_index]
                 schedule = schedules[seed_index]
-                self._decompressor.load_seed(record.seed)
+                if self._batched is not None:
+                    self._batched.load_seed(record.seed)
+                else:
+                    self._decompressor.load_seed(record.seed)
                 counters.useful_segment.load(
                     min(group_count, counters.useful_segment.max_value)
                 )
@@ -195,27 +320,46 @@ class DecompressionController:
                 for plan in schedule.segments:
                     useful = mode_select.mode(seed_index, plan.segment_index)
                     if useful:
-                        self._decompressor.set_mode(LFSRMode.NORMAL)
-                        for _ in range(plan.vectors_applied):
-                            for _ in range(chain_length):
+                        if self._batched is not None:
+                            outputs = self._batched.run(
+                                plan.vectors_applied * chain_length, "normal"
+                            )
+                            lfsr_clocks += plan.vectors_applied * chain_length
+                            vectors_applied += plan.vectors_applied
+                            if collect_vectors:
+                                useful_vectors.extend(
+                                    self._batched.captured_vectors(
+                                        outputs, plan.vectors_applied
+                                    )
+                                )
+                        else:
+                            self._decompressor.set_mode(LFSRMode.NORMAL)
+                            for _ in range(plan.vectors_applied):
+                                for _ in range(chain_length):
+                                    self._decompressor.shift_clock()
+                                    lfsr_clocks += 1
+                                vectors_applied += 1
+                                if collect_vectors:
+                                    useful_vectors.append(
+                                        self._decompressor.captured_vector()
+                                    )
+                    else:
+                        remainder = plan.lfsr_clocks - plan.skip_clocks
+                        if self._batched is not None:
+                            self._batched.run(plan.skip_clocks, "skip")
+                            self._batched.run(remainder, "normal")
+                            lfsr_clocks += plan.lfsr_clocks
+                            skip_clocks += plan.skip_clocks
+                        else:
+                            self._decompressor.set_mode(LFSRMode.STATE_SKIP)
+                            for _ in range(plan.skip_clocks):
                                 self._decompressor.shift_clock()
                                 lfsr_clocks += 1
-                            vectors_applied += 1
-                            if collect_vectors:
-                                useful_vectors.append(
-                                    self._decompressor.captured_vector()
-                                )
-                    else:
-                        self._decompressor.set_mode(LFSRMode.STATE_SKIP)
-                        for _ in range(plan.skip_clocks):
-                            self._decompressor.shift_clock()
-                            lfsr_clocks += 1
-                            skip_clocks += 1
-                        self._decompressor.set_mode(LFSRMode.NORMAL)
-                        remainder = plan.lfsr_clocks - plan.skip_clocks
-                        for _ in range(remainder):
-                            self._decompressor.shift_clock()
-                            lfsr_clocks += 1
+                                skip_clocks += 1
+                            self._decompressor.set_mode(LFSRMode.NORMAL)
+                            for _ in range(remainder):
+                                self._decompressor.shift_clock()
+                                lfsr_clocks += 1
                         vectors_applied += plan.vectors_applied
                 counters.seed.increment()
             counters.group.increment()
@@ -236,10 +380,15 @@ def simulate_decompression(
     transition: GF2Matrix,
     phase_shifter: PhaseShifter,
     architecture: ScanArchitecture,
+    batched: bool = True,
 ) -> SimulationOutcome:
-    """Convenience wrapper: build the datapath and replay a schedule."""
+    """Convenience wrapper: build the datapath and replay a schedule.
+
+    ``batched=False`` selects the clock-by-clock reference datapath; the
+    outcomes are identical (the golden-equivalence tests enforce this).
+    """
     decompressor = Decompressor(
         transition, phase_shifter, architecture, reduction.config.speedup
     )
-    controller = DecompressionController(decompressor)
+    controller = DecompressionController(decompressor, batched=batched)
     return controller.run(encoding, reduction)

@@ -53,6 +53,25 @@ def _matrix_to_numpy(matrix: GF2Matrix) -> np.ndarray:
     return np.ascontiguousarray(bits[:, : matrix.ncols])
 
 
+def windows_from_packed(packed: np.ndarray) -> List[List[int]]:
+    """Integer view of a packed window expansion.
+
+    Converts the ``(num_seeds, L, num_words)`` uint64 array of
+    :meth:`EquationSystem.expand_seeds_packed` into the classic
+    list-of-lists of packed Python integers (entry ``[s][v]``), bit for
+    bit identical to what the pre-packed ``expand_seeds`` produced.
+    """
+    num_seeds, window_length, _ = packed.shape
+    as_bytes = packed.view(np.uint8).reshape(num_seeds, window_length, -1)
+    return [
+        [
+            int.from_bytes(as_bytes[s, v].tobytes(), "little")
+            for v in range(window_length)
+        ]
+        for s in range(num_seeds)
+    ]
+
+
 def _gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Exact GF(2) product of dense 0/1 arrays, via one BLAS sgemm.
 
@@ -404,20 +423,30 @@ class EquationSystem:
         """All ``L`` test vectors of one seed, as packed integers."""
         return self.expand_seeds([seed])[0]
 
-    def expand_seeds(self, seeds: Sequence[BitVector]) -> List[List[int]]:
-        """Expand several seeds into their ``L``-vector windows (bulk numpy).
+    def expand_seeds_packed(self, seeds: Sequence[BitVector]) -> np.ndarray:
+        """Expand seeds into uint64-blocked windows (the packed core form).
 
-        Entry ``[s][v]`` of the result is the fully specified test vector
-        (packed integer over the scan cells) produced by seed ``s`` at window
-        position ``v``.
+        Returns a ``(num_seeds, L, num_words)`` little-endian uint64 array
+        with ``num_words = ceil(num_cells / 64)``; bit ``c`` of word ``w``
+        of entry ``[s, v]`` is scan cell ``64*w + c`` of the test vector
+        produced by seed ``s`` at window position ``v`` -- the same cell
+        packing as :meth:`repro.testdata.cube.TestCube.packed_words`, so
+        the embedding-matching kernel consumes it directly.  Treat the
+        result as immutable (it is shared through the context cache).
         """
-        if not seeds:
-            return []
         n = self._lfsr_size
+        num_cells = self._architecture.num_cells
+        num_seeds = len(seeds)
+        num_words = (num_cells + 63) // 64
+        buffer = np.zeros(
+            (num_seeds, self._window_length, num_words * 8), dtype=np.uint8
+        )
+        if not seeds:
+            return buffer.view("<u8")
         for seed in seeds:
             if seed.length != n:
                 raise ValueError("seed length does not match the LFSR size")
-        seed_cols = np.zeros((n, len(seeds)), dtype=np.uint8)
+        seed_cols = np.zeros((n, num_seeds), dtype=np.uint8)
         for j, seed in enumerate(seeds):
             value = seed.value
             while value:
@@ -425,8 +454,6 @@ class EquationSystem:
                 seed_cols[low.bit_length() - 1, j] = 1
                 value ^= low
 
-        num_seeds = len(seeds)
-        num_cells = self._architecture.num_cells
         # LFSR state at the start of every vector, for every seed, then the
         # scanned cell bits -- two batched BLAS products with a mod-2
         # reduction in between (operands must be 0/1 for exactness).  The
@@ -435,7 +462,6 @@ class EquationSystem:
         # for large windows/cores instead of materialising all L at once.
         seed_cols_f32 = seed_cols.astype(np.float32)
         chunk = max(1, 4_000_000 // max(1, num_cells * num_seeds))
-        out: List[List[int]] = [[] for _ in range(num_seeds)]
         for start in range(0, self._window_length, chunk):
             positions = self._position_matrices_f32[start : start + chunk]
             states = np.matmul(positions, seed_cols_f32)  # (chunk, n, seeds)
@@ -443,12 +469,22 @@ class EquationSystem:
             cell_bits = np.matmul(self._cell_rows_f32, states)
             cell_bits = (cell_bits.astype(np.uint32) & 1).astype(np.uint8)
             packed = np.packbits(cell_bits, axis=1, bitorder="little")
-            for v in range(packed.shape[0]):
-                for j in range(num_seeds):
-                    out[j].append(
-                        int.from_bytes(packed[v, :, j].tobytes(), "little")
-                    )
-        return out
+            # packed: (chunk, nbytes, seeds) -> per-seed rows of the buffer
+            buffer[:, start : start + packed.shape[0], : packed.shape[1]] = (
+                packed.transpose(2, 0, 1)
+            )
+        return buffer.view("<u8")
+
+    def expand_seeds(self, seeds: Sequence[BitVector]) -> List[List[int]]:
+        """Expand several seeds into their ``L``-vector windows (bulk numpy).
+
+        Entry ``[s][v]`` of the result is the fully specified test vector
+        (packed integer over the scan cells) produced by seed ``s`` at window
+        position ``v`` -- the integer view of :meth:`expand_seeds_packed`.
+        """
+        if not seeds:
+            return []
+        return windows_from_packed(self.expand_seeds_packed(seeds))
 
     def vector_at(self, seed: BitVector, position: int) -> List[int]:
         """The test vector of ``seed`` at one window position, as a bit list."""

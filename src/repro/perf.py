@@ -1,6 +1,6 @@
 """Hot-kernel benchmarks and the regression harness behind ``repro bench``.
 
-Three kernels dominate campaign wall time and are measured here:
+Five kernels dominate campaign wall time and are measured here:
 
 ``encoding``
     The window-based solvability scan (batched GF(2) trials, residual
@@ -13,6 +13,21 @@ Three kernels dominate campaign wall time and are measured here:
     on generated benchmark circuits -- timed against the in-repo reference
     simulator (``use_cones=False``, 64-bit words) and checked for identical
     detected-fault sets.
+
+``atpg``
+    PODEM test generation on the packed two-word ternary core (one dual
+    good/faulty machine evaluation per decision node; see
+    :mod:`repro.circuits.ternary`) -- timed against the dict-based
+    reference engine (``use_packed=False``) and checked for bit-identical
+    :class:`~repro.circuits.atpg.AtpgResult`\\ s (cubes, partitions,
+    coverage).
+
+``embedding``
+    The warm-sweep embedding-map build: with the seed windows expanded
+    once (the context-cached uint64-blocked form), an S-grid of
+    :func:`~repro.skip.selection.build_embedding_map` calls (packed numpy
+    containment) is timed against the pure-Python reference scan and
+    checked for identical maps.
 
 ``context``
     Encode reuse through the shared :class:`~repro.context.CompressionContext`:
@@ -50,7 +65,7 @@ from repro.testdata.profiles import get_profile
 from repro.testdata.synthetic import generate_test_set
 
 #: Kernel names in report order.
-KERNELS = ("encoding", "faultsim", "context")
+KERNELS = ("encoding", "faultsim", "atpg", "embedding", "context")
 
 
 @dataclass
@@ -143,6 +158,7 @@ _ENCODING_CASES = {
         ("s9234-L200", "s9234", 0.20, 200),
         ("s13207-L200", "s13207", 0.20, 200),
         ("s15850-L100", "s15850", 0.10, 100),
+        ("s15850-L200", "s15850", 0.15, 200),
     ],
 }
 
@@ -305,6 +321,193 @@ def bench_faultsim(quick: bool = False, repeat: int = 2) -> KernelReport:
 
 
 # ----------------------------------------------------------------------
+# ATPG kernel (PODEM on the packed ternary core)
+# ----------------------------------------------------------------------
+_ATPG_QUICK = [
+    ("g200-podem", 40, 200),
+]
+_ATPG_CASES = {
+    "quick": _ATPG_QUICK,
+    "full": _ATPG_QUICK
+    + [
+        ("g300-podem", 48, 300),
+        ("g600-podem", 64, 600),
+    ],
+}
+
+
+def _atpg_timed(num_inputs: int, num_gates: int, packed: bool):
+    """Full PODEM run (generation + drop simulation); returns (wall, result)."""
+    from repro.circuits.atpg import PodemAtpg
+    from repro.circuits.generator import random_netlist
+
+    netlist = random_netlist(
+        "bench", num_inputs=num_inputs, num_gates=num_gates, seed=7
+    )
+    atpg = PodemAtpg(netlist, use_packed=packed)
+    start = time.perf_counter()
+    result = atpg.run()
+    return time.perf_counter() - start, result
+
+
+def bench_atpg(quick: bool = False, repeat: int = 2) -> KernelReport:
+    """Measure PODEM on the packed ternary core vs the dict reference.
+
+    Both engines run the identical objective/backtrace decision tree, so
+    the verification compares the complete :class:`AtpgResult`: the cube
+    list, the detected/redundant/aborted partitions and the fault total.
+    The reference engine *is* the pre-PR implementation, so ``speedup``
+    doubles as the speedup-vs-pre-PR figure.
+    """
+    mode = "quick" if quick else "full"
+    cases: List[KernelCase] = []
+    for name, num_inputs, num_gates in _ATPG_CASES[mode]:
+        wall, result = _best_of(
+            repeat, lambda: _atpg_timed(num_inputs, num_gates, True)
+        )
+        ref_wall, ref_result = _best_of(
+            repeat, lambda: _atpg_timed(num_inputs, num_gates, False)
+        )
+        verified = (
+            result.test_set.cubes == ref_result.test_set.cubes
+            and result.detected == ref_result.detected
+            and result.redundant == ref_result.redundant
+            and result.aborted == ref_result.aborted
+            and result.total_faults == ref_result.total_faults
+        )
+        cases.append(
+            KernelCase(
+                name=name,
+                wall_s=wall,
+                throughput=result.total_faults / wall if wall > 0 else 0.0,
+                unit="faults/s",
+                reference_wall_s=ref_wall,
+                speedup=ref_wall / wall if wall > 0 else 0.0,
+                verified=verified,
+                detail={
+                    "num_inputs": num_inputs,
+                    "num_gates": num_gates,
+                    "total_faults": result.total_faults,
+                    "num_cubes": len(result.test_set.cubes),
+                    "coverage_pct": round(result.effective_coverage_percent, 2),
+                },
+            )
+        )
+    return KernelReport(kernel="atpg", mode=mode, cases=cases)
+
+
+# ----------------------------------------------------------------------
+# Embedding-map kernel (warm-sweep packed containment)
+# ----------------------------------------------------------------------
+_EMBEDDING_QUICK = [
+    ("s9234-L200-warm", "s9234", 0.3, 200, [4, 5, 10, 20, 25]),
+]
+_EMBEDDING_CASES = {
+    "quick": _EMBEDDING_QUICK,
+    "full": _EMBEDDING_QUICK
+    + [
+        ("s13207-L100-warm", "s13207", 0.2, 100, [4, 5, 10, 20, 25]),
+    ],
+}
+
+
+def _embedding_sweep_timed(encoded, segments: List[int], packed: bool):
+    """Build the embedding map for every S of a warm sweep.
+
+    ``packed=True`` runs the numpy containment kernel on the context-cached
+    uint64-blocked windows; ``packed=False`` the pure-Python reference scan
+    on the integer windows.  Both consume pre-expanded windows, so the
+    timing isolates exactly the matching kernel an (S, k) sweep repeats.
+    """
+    from repro.skip.segments import WindowSegmentation
+    from repro.skip.selection import (
+        build_embedding_map,
+        build_embedding_map_reference,
+    )
+
+    equations = encoded.substrate.equations
+    seeds = [record.seed for record in encoded.encoding.seeds]
+    context = encoded.context
+    windows_packed = context.packed_windows(encoded.substrate, seeds)
+    windows = context.expanded_windows(encoded.substrate, seeds)
+    window_length = encoded.encoding.window_length
+    maps = []
+    start = time.perf_counter()
+    for segment_size in segments:
+        segmentation = WindowSegmentation(window_length, segment_size)
+        if packed:
+            embedding = build_embedding_map(
+                encoded.encoding,
+                encoded.test_set,
+                equations,
+                segmentation,
+                windows_packed=windows_packed,
+            )
+        else:
+            embedding = build_embedding_map_reference(
+                encoded.encoding,
+                encoded.test_set,
+                equations,
+                segmentation,
+                windows=windows,
+            )
+        maps.append(embedding)
+    elapsed = time.perf_counter() - start
+    return elapsed, [
+        (embedding.cube_segments, embedding.segment_cubes) for embedding in maps
+    ]
+
+
+def bench_embedding(quick: bool = False, repeat: int = 2) -> KernelReport:
+    """Measure the warm-sweep embedding-map build vs the reference loop."""
+    from repro.pipeline import encode as encode_stage
+
+    mode = "quick" if quick else "full"
+    cases: List[KernelCase] = []
+    for name, profile_name, scale, window, segments in _EMBEDDING_CASES[mode]:
+        profile = get_profile(profile_name)
+        test_set = generate_test_set(profile, seed=1, scale=scale)
+        config = CompressionConfig(
+            window_length=window,
+            segment_size=min(segments),
+            num_scan_chains=profile.scan_chains,
+            lfsr_size=profile.lfsr_size,
+        )
+        encoded = encode_stage(
+            test_set, config, context=CompressionContext(), verify=False
+        )
+        wall, maps = _best_of(
+            repeat, lambda: _embedding_sweep_timed(encoded, segments, True)
+        )
+        ref_wall, ref_maps = _best_of(
+            repeat, lambda: _embedding_sweep_timed(encoded, segments, False)
+        )
+        matches = (
+            len(test_set) * encoded.encoding.num_seeds * window * len(segments)
+        )
+        cases.append(
+            KernelCase(
+                name=name,
+                wall_s=wall,
+                throughput=matches / wall if wall > 0 else 0.0,
+                unit="cube-positions/s",
+                reference_wall_s=ref_wall,
+                speedup=ref_wall / wall if wall > 0 else 0.0,
+                verified=maps == ref_maps,
+                detail={
+                    "profile": profile_name,
+                    "scale": scale,
+                    "window_length": window,
+                    "segments": segments,
+                    "num_cubes": len(test_set),
+                    "num_seeds": encoded.encoding.num_seeds,
+                },
+            )
+        )
+    return KernelReport(kernel="embedding", mode=mode, cases=cases)
+
+
+# ----------------------------------------------------------------------
 # Context-reuse kernel (encode once, sweep (S, k) many)
 # ----------------------------------------------------------------------
 #: (name, profile, scale, window, segment sizes, speedups).  The quick case
@@ -405,6 +608,8 @@ def bench_context(quick: bool = False, repeat: int = 2) -> KernelReport:
 _BENCHES = {
     "encoding": bench_encoding,
     "faultsim": bench_faultsim,
+    "atpg": bench_atpg,
+    "embedding": bench_embedding,
     "context": bench_context,
 }
 

@@ -290,8 +290,9 @@ def reduce(
     alignment, force_first_segment_useful)`` and defaults to the config the
     encoding was produced with -- pass ``encoded.config.with_updates(...)``
     to sweep (S, k) points over one encoding.  The embedding map is built
-    on the context-cached window expansion, so repeated reductions never
-    re-expand a seed.
+    on the context-cached uint64-blocked window expansion, so repeated
+    reductions never re-expand a seed (and share the expansion with
+    verification, which consumes the derived integer form).
     """
     config = config or encoded.config
     context = context or encoded.context
@@ -305,10 +306,12 @@ def reduce(
             force_first_segment_useful=config.force_first_segment_useful,
         ),
     )
-    windows = context.expanded_windows(
+    windows_packed = context.packed_windows(
         encoded.substrate, [record.seed for record in encoded.encoding.seeds]
     )
-    result = reducer.reduce(encoded.encoding, encoded.test_set, windows=windows)
+    result = reducer.reduce(
+        encoded.encoding, encoded.test_set, windows_packed=windows_packed
+    )
     context.stats.add_timing("reduce", time.perf_counter() - start)
     return result
 

@@ -22,6 +22,7 @@ from repro.skip.selection import (
     EmbeddingMap,
     UsefulSegmentSelection,
     build_embedding_map,
+    build_embedding_map_reference,
     select_useful_segments,
 )
 from repro.skip.reduction import (
@@ -37,6 +38,7 @@ __all__ = [
     "EmbeddingMap",
     "UsefulSegmentSelection",
     "build_embedding_map",
+    "build_embedding_map_reference",
     "select_useful_segments",
     "ReductionConfig",
     "ReductionResult",

@@ -276,16 +276,23 @@ class SequenceReducer:
         result: EncodingResult,
         test_set: TestSet,
         windows: Optional[List[List[int]]] = None,
+        windows_packed=None,
     ) -> ReductionResult:
         """Run the full reduction on an encoding result.
 
-        ``windows`` may carry the already-expanded seed windows of the
-        encoding (see :func:`repro.skip.selection.build_embedding_map`);
-        the staged pipeline passes the context-cached expansion so the
-        reducer never re-expands what verification already expanded.
+        ``windows`` / ``windows_packed`` may carry the already-expanded
+        seed windows of the encoding in integer / uint64-blocked form (see
+        :func:`repro.skip.selection.build_embedding_map`); the staged
+        pipeline passes the context-cached packed expansion so the reducer
+        never re-expands a seed.
         """
         embedding = build_embedding_map(
-            result, test_set, self._equations, self._segmentation, windows=windows
+            result,
+            test_set,
+            self._equations,
+            self._segmentation,
+            windows=windows,
+            windows_packed=windows_packed,
         )
         selection = select_useful_segments(
             embedding,
@@ -373,6 +380,7 @@ def reduce_sequence(
     alignment: str = "exact",
     force_first_segment_useful: bool = True,
     windows: Optional[List[List[int]]] = None,
+    windows_packed=None,
 ) -> ReductionResult:
     """One-call State Skip reduction of an encoding result."""
     config = ReductionConfig(
@@ -382,5 +390,5 @@ def reduce_sequence(
         force_first_segment_useful=force_first_segment_useful,
     )
     return SequenceReducer(equations, config).reduce(
-        result, test_set, windows=windows
+        result, test_set, windows=windows, windows_packed=windows_packed
     )

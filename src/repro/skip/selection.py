@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.encoding.equations import EquationSystem
 from repro.encoding.results import EncodingResult
 from repro.skip.segments import WindowSegmentation
@@ -80,25 +82,102 @@ class UsefulSegmentSelection:
         return len(self.useful_segments)
 
 
+#: uint64-entry budget of one broadcast containment intermediate (~32 MB).
+#: Cube chunks are sized so ``chunk x positions x words`` stays below it.
+_MATCH_CHUNK_BUDGET = 4_000_000
+
+
 def build_embedding_map(
     result: EncodingResult,
     test_set: TestSet,
     equations: EquationSystem,
     segmentation: WindowSegmentation,
     windows: Optional[List[List[int]]] = None,
+    windows_packed: Optional[np.ndarray] = None,
 ) -> EmbeddingMap:
-    """Expand every seed and record every (cube, segment) embedding.
+    """Record every (cube, segment) embedding via packed containment.
 
-    Matching a cube against a fully specified vector is two integer
-    operations, so the full scan over cubes x seeds x window positions stays
-    cheap even in pure Python.
+    A cube is embedded in a window vector iff ``(vector & care) == value``
+    over the uint64 blocks of :meth:`TestCube.packed_words`; broadcasting
+    that test over cubes x (seed, position) turns the former triple Python
+    loop into a handful of numpy passes.  The produced
+    :class:`EmbeddingMap` is identical to
+    :func:`build_embedding_map_reference` (the golden tests enforce it).
 
-    ``windows`` may carry the already-expanded seed windows (the
-    :meth:`EquationSystem.expand_seeds` output for the encoding's seeds);
-    when omitted the expansion happens here.  Passing the
-    :class:`~repro.context.CompressionContext`-cached expansion lets an
-    (S, k) sweep over one encoding build many embedding maps without ever
-    re-expanding a seed.
+    ``windows_packed`` may carry the uint64-blocked expansion
+    (:meth:`EquationSystem.expand_seeds_packed` /
+    :meth:`repro.context.CompressionContext.packed_windows`); ``windows``
+    the classic integer form (packed here when it is all that is
+    available).  When both are omitted the expansion happens here.
+    Passing the context-cached expansion lets an (S, k) sweep over one
+    encoding build many embedding maps without ever re-expanding a seed.
+    """
+    if segmentation.window_length != result.window_length:
+        raise ValueError("segmentation window length does not match the encoding")
+    embedding = EmbeddingMap(segmentation=segmentation)
+    num_cells = equations.architecture.num_cells
+    num_words = (num_cells + 63) // 64
+    if windows_packed is None:
+        if windows is not None:
+            windows_packed = _pack_windows(windows, num_words)
+        else:
+            windows_packed = equations.expand_seeds_packed(
+                [record.seed for record in result.seeds]
+            )
+    num_seeds, window_length, _ = windows_packed.shape
+    cubes = test_set.cubes
+    if num_seeds and cubes:
+        flat = windows_packed.reshape(num_seeds * window_length, num_words)
+        words = np.ascontiguousarray(flat.T)  # (W, P): word-major scan
+        cares = np.stack([cube.packed_words()[0] for cube in cubes])
+        values = np.stack([cube.packed_words()[1] for cube in cubes])
+        num_positions = flat.shape[0]
+        segment_starts = np.array(
+            [segmentation.bounds(s)[0] for s in range(segmentation.num_segments)],
+            dtype=np.intp,
+        )
+        chunk = max(1, _MATCH_CHUNK_BUDGET // max(1, num_positions))
+        for start in range(0, len(cubes), chunk):
+            care_chunk = cares[start : start + chunk]
+            value_chunk = values[start : start + chunk]
+            # (chunk, positions): does vector p cover cube c?  Accumulated
+            # word by word so the temporaries stay (chunk, P)-sized; words
+            # no cube of the chunk cares about are skipped outright (cubes
+            # are sparse, so most words are).
+            matches = np.ones((care_chunk.shape[0], num_positions), dtype=bool)
+            for w in range(num_words):
+                care_w = care_chunk[:, w]
+                if not care_w.any():
+                    continue
+                matches &= (
+                    words[w][None, :] & care_w[:, None]
+                ) == value_chunk[:, w][:, None]
+            # Collapse positions to segments in one pass per seed axis.
+            per_window = matches.reshape(-1, num_seeds, window_length)
+            per_segment = np.logical_or.reduceat(per_window, segment_starts, axis=2)
+            cube_idx, seed_idx, seg_idx = np.nonzero(per_segment)
+            for cube_index, seed_index, segment in zip(
+                cube_idx.tolist(), seed_idx.tolist(), seg_idx.tolist()
+            ):
+                embedding.add(start + cube_index, (seed_index, segment))
+    _check_deterministic_embeddings(embedding, result, segmentation)
+    return embedding
+
+
+def build_embedding_map_reference(
+    result: EncodingResult,
+    test_set: TestSet,
+    equations: EquationSystem,
+    segmentation: WindowSegmentation,
+    windows: Optional[List[List[int]]] = None,
+) -> EmbeddingMap:
+    """The pre-packed pure-Python scan over cubes x seeds x positions.
+
+    Kept as the golden reference for :func:`build_embedding_map` (and for
+    the ``repro bench embedding`` kernel's pre-PR side): matching a cube
+    against a fully specified vector is two integer operations, so this
+    stays usable -- just ~an order of magnitude slower than the packed
+    containment test on realistic grids.
     """
     if segmentation.window_length != result.window_length:
         raise ValueError("segmentation window length does not match the encoding")
@@ -112,8 +191,33 @@ def build_embedding_map(
             for cube_index, cube in enumerate(cubes):
                 if cube.matches_vector(vector):
                     embedding.add(cube_index, segment)
-    # Sanity: every deterministically encoded cube must be embedded in the
-    # segment containing its assigned position.
+    _check_deterministic_embeddings(embedding, result, segmentation)
+    return embedding
+
+
+def _pack_windows(windows: List[List[int]], num_words: int) -> np.ndarray:
+    """uint64-blocked form of integer windows (fallback packing path)."""
+    num_seeds = len(windows)
+    window_length = len(windows[0]) if windows else 0
+    buffer = np.zeros(
+        (num_seeds, window_length, num_words * 8), dtype=np.uint8
+    )
+    nbytes = num_words * 8
+    for s, window in enumerate(windows):
+        for v, vector in enumerate(window):
+            buffer[s, v] = np.frombuffer(
+                vector.to_bytes(nbytes, "little"), dtype=np.uint8
+            )
+    return buffer.view("<u8")
+
+
+def _check_deterministic_embeddings(
+    embedding: EmbeddingMap,
+    result: EncodingResult,
+    segmentation: WindowSegmentation,
+) -> None:
+    """Sanity: every deterministically encoded cube must be embedded in the
+    segment containing its assigned position."""
     for record in result.seeds:
         for emb in record.embeddings:
             if not emb.deterministic:
@@ -125,7 +229,6 @@ def build_embedding_map(
                     f"{record.index} at position {emb.position}; the encoding "
                     f"is inconsistent"
                 )
-    return embedding
 
 
 def select_useful_segments(

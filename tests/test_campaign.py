@@ -460,6 +460,49 @@ class TestRunner:
         assert result.num_computed == 2  # neither outcome was overwritten
         assert len({outcome.key for outcome in result.outcomes}) == 2
 
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="needs fork to patch the worker"
+    )
+    def test_hung_job_keeps_streamed_results(self, tmp_path, cube_file, monkeypatch):
+        """A genuinely hung job loses only itself.
+
+        Results are streamed per job, so the completed (S, k) points of the
+        hung job's own group are already stored when the parent's
+        inactivity window fires -- previously the whole group was
+        discarded on the parent's hard timeout.
+        """
+        import time as time_mod
+
+        import repro.campaign.runner as runner_mod
+
+        real_compress = runner_mod.compress
+
+        def hanging_compress(test_set, config, **kwargs):
+            if config.speedup == 24:
+                time_mod.sleep(60)  # a genuine hang (parent terminates us)
+            return real_compress(test_set, config, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "compress", hanging_compress)
+        spec = CampaignSpec(
+            name="hang",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8, lfsr_size=16),
+            axes={"speedup": [3, 6, 12, 24]},
+        )
+        store = ResultStore(tmp_path)
+        # 2 workers split the single encode group into [3, 6] and [12, 24]:
+        # the hang sits behind a completed job on its own worker.
+        result = CampaignRunner(spec, store, jobs=2, timeout=1.0).run()
+        statuses = {
+            outcome.job.config.speedup: outcome.status
+            for outcome in result.outcomes
+        }
+        assert statuses[3] == statuses[6] == statuses[12] == "ok"
+        assert statuses[24] == "timeout"
+        for outcome in result.outcomes:
+            stored = store.completed(outcome.key)
+            assert stored == (outcome.status == "ok")
+
     def test_runner_rejects_bad_worker_count(self, tmp_path, cube_file):
         spec = CampaignSpec(
             name="bad", sources=(TestSource(tests=str(cube_file)),),

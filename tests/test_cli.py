@@ -188,18 +188,29 @@ class TestBenchCommand:
 
         encoding = json.loads((out_dir / "BENCH_encoding.json").read_text())
         faultsim = json.loads((out_dir / "BENCH_faultsim.json").read_text())
+        atpg = json.loads((out_dir / "BENCH_atpg.json").read_text())
+        embedding = json.loads((out_dir / "BENCH_embedding.json").read_text())
         context = json.loads((out_dir / "BENCH_context.json").read_text())
         assert encoding["kernel"] == "encoding" and encoding["cases"]
         assert faultsim["kernel"] == "faultsim" and faultsim["cases"]
+        assert atpg["kernel"] == "atpg" and atpg["cases"]
+        assert embedding["kernel"] == "embedding" and embedding["cases"]
         assert context["kernel"] == "context" and context["cases"]
-        all_cases = encoding["cases"] + faultsim["cases"] + context["cases"]
+        all_cases = (
+            encoding["cases"]
+            + faultsim["cases"]
+            + atpg["cases"]
+            + embedding["cases"]
+            + context["cases"]
+        )
         for case in all_cases:
             assert case["verified"] is True
             assert case["wall_s"] > 0
             assert case["throughput"] > 0
-        # The warm-context sweep must beat the per-job rebuild path.
-        for case in context["cases"]:
-            assert case["speedup"] > 1.0
+        # The optimized engines must beat their in-repo references.
+        for report in (atpg, embedding, context):
+            for case in report["cases"]:
+                assert case["speedup"] > 1.0
         # Results land in the campaign store with elapsed_s populated.
         from repro.campaign.store import ResultStore
 

@@ -1,0 +1,237 @@
+"""Golden-equivalence tests of the packed ternary core and its consumers.
+
+Every optimized path introduced with the two-word (value, care) engine is
+checked bit for bit against the pre-existing reference implementation it
+replaced:
+
+* packed ``simulate_ternary`` vs the dict-based reference on randomized
+  netlists and randomized partial (0/1/X) assignments;
+* the packed fault-injection overlay (PODEM's faulty machine, and the fault
+  simulator's dense path) vs the reference faulty evaluation;
+* full PODEM ATPG: packed engine vs dict engine, cube for cube;
+* the uint64-blocked seed-window expansion vs the integer expansion;
+* the vectorized embedding map vs the pure-Python scan on a small grid;
+* the segment-batched decompressor simulation vs the clock-level replay.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits.atpg import PodemAtpg
+from repro.circuits.faults import collapse_faults
+from repro.circuits.generator import random_netlist
+from repro.circuits.library import builtin_circuits
+from repro.circuits.simulator import (
+    simulate,
+    simulate_ternary,
+    simulate_ternary_reference,
+)
+from repro.circuits.ternary import ternary_state_to_dict
+from repro.config import CompressionConfig
+from repro.context import CompressionContext
+from repro import pipeline
+from repro.decompressor.architecture import simulate_decompression
+from repro.skip.segments import WindowSegmentation
+from repro.skip.selection import (
+    build_embedding_map,
+    build_embedding_map_reference,
+)
+from repro.testdata.cube import TestCube
+from repro.testdata.profiles import get_profile
+from repro.testdata.synthetic import generate_test_set
+
+
+def _random_assignment(rng, netlist, specified_fraction):
+    """A partial 0/1 assignment over a random subset of the inputs."""
+    return {
+        net: rng.getrandbits(1)
+        for net in netlist.inputs
+        if rng.random() < specified_fraction
+    }
+
+
+# ----------------------------------------------------------------------
+# Packed ternary engine vs dict reference
+# ----------------------------------------------------------------------
+class TestTernaryEngineGolden:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_randomized_netlists_and_assignments(self, seed):
+        rng = random.Random(seed)
+        netlist = random_netlist(
+            f"rand{seed}",
+            num_inputs=rng.randint(8, 24),
+            num_gates=rng.randint(40, 160),
+            seed=seed,
+        )
+        for fraction in (0.0, 0.3, 0.7, 1.0):
+            assignment = _random_assignment(rng, netlist, fraction)
+            assert simulate_ternary(netlist, assignment) == (
+                simulate_ternary_reference(netlist, assignment)
+            )
+
+    def test_builtin_circuits_all_x(self):
+        for netlist in builtin_circuits():
+            assert simulate_ternary(netlist, {}) == (
+                simulate_ternary_reference(netlist, {})
+            )
+
+    def test_fully_specified_matches_binary(self):
+        rng = random.Random(11)
+        netlist = random_netlist("randb", num_inputs=12, num_gates=80, seed=11)
+        for _ in range(10):
+            vector = {net: rng.getrandbits(1) for net in netlist.inputs}
+            ternary = simulate_ternary(netlist, vector)
+            assert ternary == simulate(netlist, vector)
+
+
+class TestFaultOverlayGolden:
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_dual_state_faulty_machine_matches_reference(self, seed):
+        rng = random.Random(seed)
+        netlist = random_netlist(
+            f"randf{seed}", num_inputs=12, num_gates=70, seed=seed
+        )
+        atpg = PodemAtpg(netlist)
+        faults = collapse_faults(netlist)
+        for fault in rng.sample(faults, min(25, len(faults))):
+            assignment = _random_assignment(rng, netlist, 0.4)
+            values, cares = atpg._dual_state(fault, assignment)
+            faulty = ternary_state_to_dict(atpg._plan, values, cares, pattern=1)
+            good = ternary_state_to_dict(atpg._plan, values, cares, pattern=0)
+            assert faulty == atpg._faulty_ternary(fault, assignment)
+            assert good == simulate_ternary_reference(netlist, assignment)
+
+
+class TestPodemGolden:
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_packed_and_reference_engines_identical(self, seed):
+        netlist = random_netlist(
+            f"randp{seed}", num_inputs=16, num_gates=90, seed=seed
+        )
+        packed = PodemAtpg(netlist, use_packed=True).run()
+        reference = PodemAtpg(netlist, use_packed=False).run()
+        assert packed.test_set.cubes == reference.test_set.cubes
+        assert packed.detected == reference.detected
+        assert packed.redundant == reference.redundant
+        assert packed.aborted == reference.aborted
+        assert packed.total_faults == reference.total_faults
+
+
+# ----------------------------------------------------------------------
+# Packed windows, cubes and the embedding map
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def encoded():
+    profile = get_profile("s9234")
+    test_set = generate_test_set(profile, seed=1, scale=0.06)
+    config = CompressionConfig(
+        window_length=60,
+        segment_size=5,
+        num_scan_chains=profile.scan_chains,
+        lfsr_size=profile.lfsr_size,
+    )
+    return pipeline.encode(
+        test_set, config, context=CompressionContext(), verify=True
+    )
+
+
+class TestPackedWindowsGolden:
+    def test_packed_expansion_matches_integer_expansion(self, encoded):
+        equations = encoded.substrate.equations
+        seeds = [record.seed for record in encoded.encoding.seeds]
+        packed = equations.expand_seeds_packed(seeds)
+        windows = equations.expand_seeds(seeds)
+        num_cells = equations.architecture.num_cells
+        assert packed.shape == (
+            len(seeds),
+            equations.window_length,
+            (num_cells + 63) // 64,
+        )
+        for s, window in enumerate(windows):
+            for v, vector in enumerate(window):
+                blocks = packed[s, v]
+                rebuilt = sum(
+                    int(word) << (64 * w) for w, word in enumerate(blocks)
+                )
+                assert rebuilt == vector
+
+    def test_cube_packed_words_match_masks(self):
+        cube = TestCube.from_string("1X0" * 50)  # 150 cells -> 3 words
+        care, value = cube.packed_words()
+        assert care.dtype == np.uint64 and len(care) == 3
+        assert sum(int(w) << (64 * i) for i, w in enumerate(care)) == cube.care_mask
+        assert (
+            sum(int(w) << (64 * i) for i, w in enumerate(value)) == cube.care_value
+        )
+
+
+class TestEmbeddingMapGolden:
+    @pytest.mark.parametrize("segment_size", [3, 5, 12, 60])
+    def test_vectorized_map_equals_reference(self, encoded, segment_size):
+        equations = encoded.substrate.equations
+        segmentation = WindowSegmentation(
+            encoded.encoding.window_length, segment_size
+        )
+        vectorized = build_embedding_map(
+            encoded.encoding, encoded.test_set, equations, segmentation
+        )
+        reference = build_embedding_map_reference(
+            encoded.encoding, encoded.test_set, equations, segmentation
+        )
+        assert vectorized.cube_segments == reference.cube_segments
+        assert vectorized.segment_cubes == reference.segment_cubes
+
+    def test_vectorized_map_from_cached_windows(self, encoded):
+        """Packed, integer and self-expanded inputs all yield the same map."""
+        equations = encoded.substrate.equations
+        seeds = [record.seed for record in encoded.encoding.seeds]
+        segmentation = WindowSegmentation(encoded.encoding.window_length, 5)
+        context = encoded.context
+        from_packed = build_embedding_map(
+            encoded.encoding,
+            encoded.test_set,
+            equations,
+            segmentation,
+            windows_packed=context.packed_windows(encoded.substrate, seeds),
+        )
+        from_integers = build_embedding_map(
+            encoded.encoding,
+            encoded.test_set,
+            equations,
+            segmentation,
+            windows=context.expanded_windows(encoded.substrate, seeds),
+        )
+        assert from_packed.cube_segments == from_integers.cube_segments
+        assert from_packed.segment_cubes == from_integers.segment_cubes
+
+
+# ----------------------------------------------------------------------
+# Batched decompressor vs clock-level reference
+# ----------------------------------------------------------------------
+class TestBatchedDecompressorGolden:
+    @pytest.mark.parametrize("segment_size,speedup", [(5, 3), (10, 12)])
+    def test_batched_outcome_identical(self, encoded, segment_size, speedup):
+        reduction = pipeline.reduce(
+            encoded,
+            encoded.config.with_updates(
+                segment_size=segment_size, speedup=speedup
+            ),
+        )
+        args = (
+            encoded.encoding,
+            reduction,
+            encoded.substrate.lfsr.transition,
+            encoded.substrate.phase_shifter,
+            encoded.substrate.architecture,
+        )
+        batched = simulate_decompression(*args, batched=True)
+        reference = simulate_decompression(*args, batched=False)
+        assert batched.seeds_applied == reference.seeds_applied
+        assert batched.vectors_applied == reference.vectors_applied
+        assert batched.useful_vectors == reference.useful_vectors
+        assert batched.lfsr_clocks == reference.lfsr_clocks
+        assert batched.skip_clocks == reference.skip_clocks
+        assert batched.group_sizes == reference.group_sizes
+        assert batched.covers(encoded.test_set)
