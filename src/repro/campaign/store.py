@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
@@ -151,18 +152,50 @@ class ResultStore:
         self._load()
 
     def _load(self) -> None:
+        """Build the index from the JSONL file.
+
+        A crash mid-append leaves a *torn* final line: a partial record with
+        no trailing newline.  Every record before it is intact, so the store
+        is still perfectly usable -- the torn fragment is dropped with a
+        warning and the file is truncated back to the last complete record
+        (otherwise the next append would concatenate onto the fragment and
+        corrupt a *good* record).  If the interrupted append got the whole
+        record out and lost only the newline, the record is kept and the
+        newline restored.  Corruption anywhere else -- an interior line, or
+        a complete (newline-terminated) line that does not parse -- is not
+        a torn append and still fails loudly.
+        """
         if not self._path.exists():
             return
-        with self._path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = StoredResult.from_dict(json.loads(line))
-                except (json.JSONDecodeError, KeyError) as error:
-                    raise ValueError(
-                        f"corrupt result store {self._path} at line "
-                        f"{line_number}: {error}"
-                    ) from error
-                self._index[record.key] = record
+        raw = self._path.read_bytes()
+        lines = raw.split(b"\n")
+        for line_number, line in enumerate(lines, 1):
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                record = StoredResult.from_dict(json.loads(text))
+            except (json.JSONDecodeError, KeyError) as error:
+                if line_number == len(lines):
+                    warnings.warn(
+                        f"dropping torn trailing line of {self._path} "
+                        f"(interrupted append: {error}); "
+                        f"{len(self._index)} intact records kept",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    with self._path.open("r+b") as handle:
+                        handle.truncate(len(raw) - len(line))
+                    return
+                raise ValueError(
+                    f"corrupt result store {self._path} at line "
+                    f"{line_number}: {error}"
+                ) from error
+            self._index[record.key] = record
+        if raw and not raw.endswith(b"\n"):
+            # The final record parsed, but its terminating newline was lost
+            # (append interrupted between the record write and the newline
+            # write).  Restore the boundary now, otherwise the next append
+            # would concatenate onto this line and corrupt a good record.
+            with self._path.open("ab") as handle:
+                handle.write(b"\n")

@@ -18,19 +18,30 @@ The PODEM implementation is the standard objective/backtrace/implication loop
 over three-valued simulation, with a backtrack limit to bound the effort on
 redundant faults.
 
-Two engines drive the loop:
+Three engines drive the loop:
 
-* the default **packed** engine evaluates the good and the faulty machine
-  together in one 2-bit-per-net pass of the two-word ternary core
-  (:mod:`repro.circuits.ternary`), computed once per PODEM decision node and
-  shared by the evaluation, the objective search, the backtrace and the
-  X-path check -- where the reference engine re-ran five dict simulations;
+* the default **event-driven** engine keeps one persistent packed
+  good+faulty state per targeted fault
+  (:class:`~repro.circuits.ternary.TernaryEventEngine`): each decision
+  assigns one primary input and re-evaluates only that input's fanout cone
+  through a levelized event queue, and each backtrack rewinds an undo log
+  -- O(changed cone) per decision node instead of O(netlist);
+* ``use_events=False`` selects the **packed full-pass** engine, which
+  evaluates the good and the faulty machine together in one
+  2-bit-per-net pass of the two-word ternary core
+  (:mod:`repro.circuits.ternary`), recomputed once per PODEM decision node
+  and shared by the evaluation, the objective search, the backtrace and
+  the X-path check;
 * ``use_packed=False`` selects the original dict-based engine
   (:func:`~repro.circuits.simulator.simulate_ternary_reference` semantics).
 
-Both engines take identical decisions at every node, so the produced cubes,
+All engines take identical decisions at every node, so the produced cubes,
 the detected/redundant/aborted partitions and the coverage figures are
-bit-identical (the golden-equivalence tests enforce this).
+bit-identical (the golden-equivalence tests enforce this).  The drop
+simulation of :meth:`PodemAtpg.run` is batched the same way: random fills
+accumulate into one word-packed block that the fault simulator screens and
+drops in a single pass (``batch_fills=False`` keeps the per-pattern
+reference, again bit-identical).
 """
 
 from __future__ import annotations
@@ -46,6 +57,8 @@ from repro.circuits.ternary import (
     OP_AND,
     OP_OR,
     PackedPlan,
+    TernaryEventEngine,
+    eval_binary,
     eval_ternary,
     packed_plan,
 )
@@ -102,10 +115,12 @@ class PodemAtpg:
         netlist: Netlist,
         backtrack_limit: int = 200,
         use_packed: bool = True,
+        use_events: bool = True,
     ):
         self._netlist = netlist
         self._backtrack_limit = backtrack_limit
         self._use_packed = use_packed
+        self._use_events = use_events
         self._fanout = netlist.fanout()
         self._plan: PackedPlan = packed_plan(netlist)
         # Gate row lookup by output index for the packed backtrace.
@@ -124,8 +139,21 @@ class PodemAtpg:
         """
         assignment: Dict[str, int] = {}
         self._backtracks = 0
-        podem = self._podem_packed if self._use_packed else self._podem
-        if podem(fault, assignment):
+        if self._use_packed and self._use_events:
+            engine = self._event_engine(fault)
+            values, cares = engine.values, engine.cares
+            diff = {
+                net
+                for net in range(self._plan.num_nets)
+                if cares[net] & _BOTH == _BOTH
+                and (values[net] ^ (values[net] >> 1)) & 1
+            }
+            found = self._podem_events(fault, assignment, engine, diff)
+        elif self._use_packed:
+            found = self._podem_packed(fault, assignment)
+        else:
+            found = self._podem(fault, assignment)
+        if found:
             return dict(assignment)
         return None
 
@@ -134,8 +162,20 @@ class PodemAtpg:
         faults: Optional[Sequence[StuckAtFault]] = None,
         fill_seed: int = 1,
         fault_dropping: bool = True,
+        batch_fills: bool = True,
     ) -> AtpgResult:
-        """Full ATPG with fault dropping; returns cubes plus statistics."""
+        """Full ATPG with fault dropping; returns cubes plus statistics.
+
+        ``batch_fills`` (the default) collects the random fills of pending
+        cubes into one word-packed block and hands the whole block to the
+        fault simulator at once, amortising the fault-free evaluation the
+        same way campaign fault simulation does.  Dropping stays exact: a
+        fault whose turn comes up while fills are pending is first screened
+        against the pending block (one cone evaluation over all pending
+        patterns), so it is skipped exactly when the per-pattern reference
+        (``batch_fills=False``) would have dropped it -- cubes, statistics
+        and coverage are bit-identical either way.
+        """
         from repro.circuits.fault_sim import FaultSimulator
 
         universe = list(faults if faults is not None else collapse_faults(self._netlist))
@@ -145,10 +185,22 @@ class PodemAtpg:
         detected: List[StuckAtFault] = []
         redundant: List[StuckAtFault] = []
         aborted: List[StuckAtFault] = []
+        block = _PendingFills(self._plan, simulator.word_width) if batch_fills else None
 
         for fault in universe:
-            if fault_dropping and fault not in simulator.remaining_faults:
+            if fault_dropping and not simulator.is_remaining(fault):
                 continue
+            if block is not None and fault_dropping and block.num_patterns:
+                word = simulator.detection_word(
+                    block.good_words, block.num_patterns, fault
+                )
+                if word:
+                    # A pending fill detects this fault: the per-pattern
+                    # path would have dropped it when that fill was
+                    # simulated, before this turn came up.
+                    simulator.drop_fault(fault)
+                    detected.append(fault)
+                    continue
             assignment = self.generate_cube(fault)
             if assignment is None:
                 if self._backtracks >= self._backtrack_limit:
@@ -163,12 +215,31 @@ class PodemAtpg:
                 net: assignment.get(net, rng.getrandbits(1))
                 for net in self._netlist.inputs
             }
-            result = simulator.simulate_patterns([filled])
-            detected.extend(result.detected_faults())
-            if fault not in result.detected:
-                # The fill can mask the target in rare cases; force-count the
-                # targeted fault as detected by its own (unfilled) cube.
+            if block is None:
+                result = simulator.simulate_patterns([filled])
+                detected.extend(result.detected_faults())
+                if fault not in result.detected:
+                    # The fill can mask the target in rare cases; the target
+                    # is still detected by its own (unfilled) cube.  Drop it
+                    # too, so the simulator's coverage agrees with ours.
+                    detected.append(fault)
+                    simulator.drop_fault(fault)
+            else:
+                # The targeted fault is resolved here either way -- by its
+                # own fill, or force-counted through its unfilled cube -- so
+                # only the *other* faults wait for the block simulation.
                 detected.append(fault)
+                simulator.drop_fault(fault)
+                block.append(filled)
+                if block.num_patterns >= block.capacity:
+                    detected.extend(self._flush_fills(simulator, block))
+        if block is not None:
+            detected.extend(self._flush_fills(simulator, block))
+        detected_faults = sorted(set(detected))
+        assert detected_faults == simulator.detected_faults, (
+            "ATPG bookkeeping diverged from the fault simulator: "
+            f"{len(detected_faults)} vs {len(simulator.detected_faults)} detected"
+        )
         test_set = (
             TestSet(self._netlist.name, cubes)
             if cubes
@@ -179,11 +250,21 @@ class PodemAtpg:
         )
         return AtpgResult(
             test_set=test_set,
-            detected=sorted(set(detected)),
+            detected=detected_faults,
             redundant=redundant,
             aborted=aborted,
             total_faults=len(universe),
         )
+
+    def _flush_fills(
+        self, simulator, block: "_PendingFills"
+    ) -> List[StuckAtFault]:
+        """Simulate and drop the pending fill block; returns its detections."""
+        if not block.num_patterns:
+            return []
+        result = simulator.detect_block(block.good_words, block.num_patterns)
+        block.reset()
+        return result.detected_faults()
 
     # ------------------------------------------------------------------
     # PODEM internals -- reference (dict-based) engine
@@ -483,6 +564,156 @@ class PodemAtpg:
             net = next_net
         return self._plan.nets[net], value
 
+    # ------------------------------------------------------------------
+    # PODEM internals -- event-driven engine (packed + incremental)
+    # ------------------------------------------------------------------
+    def _event_engine(self, fault: StuckAtFault) -> TernaryEventEngine:
+        """A persistent dual-machine state seeded with the fault overlay."""
+        plan = self._plan
+        return TernaryEventEngine(
+            plan,
+            _BOTH,
+            force_index=plan.index[fault.net],
+            force_mask=_FAULTY,
+            force_value=_FAULTY if fault.stuck_value else 0,
+        )
+
+    def _podem_events(
+        self,
+        fault: StuckAtFault,
+        assignment: Dict[str, int],
+        engine: TernaryEventEngine,
+        diff: Set[int],
+    ) -> bool:
+        """The same decision tree as :meth:`_podem_packed`, incrementally.
+
+        The packed engine re-simulated the whole netlist once per decision
+        node; here the engine state persists across the recursion, every
+        input assignment updates only that input's fanout cone through the
+        levelized event queue, and backtracking rewinds the undo log --
+        O(changed cone) per decision instead of O(netlist).  ``diff`` is the
+        set of nets currently carrying the fault difference, kept in sync
+        from the nets each update touched, so the X-path check and the
+        D-frontier test read it instead of rescanning every net.  The
+        status check, objective search and backtrace read the same
+        two-word state, so all three engines take identical decisions node
+        for node.
+        """
+        values, cares = engine.values, engine.cares
+        status = self._evaluate_events(fault, values, cares, diff)
+        if status == "detected":
+            return True
+        if status == "impossible":
+            return False
+        objective = self._objective_events(fault, values, cares, diff)
+        if objective is None:
+            return False
+        pi, value = self._backtrace_packed(objective, cares)
+        pi_index = self._plan.index[pi]
+        for candidate in (value, 1 - value):
+            assignment[pi] = candidate
+            token = engine.assign(pi_index, candidate)
+            self._sync_diff(values, cares, engine.changed_indices(token), diff)
+            if self._podem_events(fault, assignment, engine, diff):
+                return True
+            self._sync_diff(values, cares, engine.undo(token), diff)
+            self._backtracks += 1
+            if self._backtracks >= self._backtrack_limit:
+                del assignment[pi]
+                return False
+        del assignment[pi]
+        return False
+
+    @staticmethod
+    def _sync_diff(
+        values: List[int], cares: List[int], touched: List[int], diff: Set[int]
+    ) -> None:
+        """Re-derive difference membership for the nets an update touched."""
+        for index in touched:
+            if cares[index] & _BOTH == _BOTH and (
+                values[index] ^ (values[index] >> 1)
+            ) & 1:
+                diff.add(index)
+            else:
+                diff.discard(index)
+
+    # NOTE: the three *_events helpers below deliberately *restate* their
+    # _*_packed counterparts (with set lookups replacing the recomputed
+    # difference predicate) instead of sharing code with them.  The
+    # full-pass methods are the frozen reference this engine is golden-
+    # tested against -- the same pattern as simulate_ternary_reference and
+    # build_embedding_map_reference -- and a shared helper would make the
+    # bit-identity tests tautological.
+    def _evaluate_events(
+        self,
+        fault: StuckAtFault,
+        values: List[int],
+        cares: List[int],
+        diff: Set[int],
+    ) -> str:
+        """:meth:`_evaluate_packed` with the maintained difference set."""
+        plan = self._plan
+        fault_index = plan.index[fault.net]
+        if cares[fault_index] & _GOOD and (values[fault_index] & _GOOD) == (
+            fault.stuck_value & _GOOD
+        ):
+            return "impossible"
+        for output in plan.output_indices:
+            if output in diff:
+                return "detected"
+        if not self._x_path_exists_events(values, cares, diff):
+            return "impossible"
+        return "undetermined"
+
+    def _x_path_exists_events(
+        self, values: List[int], cares: List[int], diff: Set[int]
+    ) -> bool:
+        """:meth:`_x_path_exists_packed` seeded from the difference set."""
+        if not diff:
+            # The fault is not activated yet; propagation cannot be ruled out.
+            return True
+        plan = self._plan
+        fanout = plan.fanout
+        reachable: Set[int] = set()
+        stack = list(diff)
+        while stack:
+            net = stack.pop()
+            if net in reachable:
+                continue
+            reachable.add(net)
+            for successor in fanout[net]:
+                if cares[successor] & _BOTH != _BOTH or successor in diff:
+                    stack.append(successor)
+        return any(net in reachable for net in plan.output_indices)
+
+    def _objective_events(
+        self,
+        fault: StuckAtFault,
+        values: List[int],
+        cares: List[int],
+        diff: Set[int],
+    ) -> Optional[Tuple[int, int]]:
+        """:meth:`_objective_packed` with the maintained difference set."""
+        plan = self._plan
+        fault_index = plan.index[fault.net]
+        if not cares[fault_index] & _GOOD:
+            return (fault_index, 1 - fault.stuck_value)
+        for output, op, inputs, _inverting in plan.rows:
+            if cares[output] & _BOTH == _BOTH:
+                continue
+            carries_difference = False
+            for src in inputs:
+                if src in diff:
+                    carries_difference = True
+                    break
+            if not carries_difference:
+                continue
+            non_controlling = 1 if op == OP_AND else 0
+            for src in inputs:
+                if not cares[src] & _GOOD:
+                    return (src, non_controlling)
+        return None
+
     def _assignment_to_cube(self, assignment: Dict[str, int]) -> TestCube:
         indexed = {
             self._netlist.input_index(net): value for net, value in assignment.items()
@@ -492,13 +723,59 @@ class PodemAtpg:
         return TestCube.from_assignments(self._netlist.num_inputs, indexed)
 
 
+class _PendingFills:
+    """A word-packed block of random-filled patterns awaiting drop simulation.
+
+    Each appended fill is evaluated fault-free at 1-bit width (the same
+    per-pattern cost the unbatched path pays) and OR-merged into the
+    block's packed good state -- binary evaluation is bit-sliced, so the
+    merged words equal one wide evaluation of all pending patterns.  The
+    fault simulator then screens and drops against the whole block at
+    once.
+    """
+
+    __slots__ = ("plan", "capacity", "patterns", "good_words")
+
+    def __init__(self, plan: PackedPlan, capacity: int):
+        self.plan = plan
+        self.capacity = capacity
+        self.reset()
+
+    def reset(self) -> None:
+        self.patterns: List[Dict[str, int]] = []
+        self.good_words: Dict[str, int] = {net: 0 for net in self.plan.nets}
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self.patterns)
+
+    def append(self, filled: Dict[str, int]) -> None:
+        plan = self.plan
+        values = [0] * plan.num_nets
+        nets = plan.nets
+        for i in range(plan.num_inputs):
+            values[i] = filled[nets[i]]
+        eval_binary(plan, values, 1)
+        position = len(self.patterns)
+        good = self.good_words
+        for net, value in zip(nets, values):
+            if value:
+                good[net] |= 1 << position
+        self.patterns.append(filled)
+
+
 def generate_test_set_for_netlist(
     netlist: Netlist,
     backtrack_limit: int = 200,
     fill_seed: int = 1,
     use_packed: bool = True,
+    use_events: bool = True,
+    batch_fills: bool = True,
 ) -> AtpgResult:
     """Convenience wrapper: collapsed faults, PODEM, fault dropping."""
     return PodemAtpg(
-        netlist, backtrack_limit=backtrack_limit, use_packed=use_packed
-    ).run(fill_seed=fill_seed)
+        netlist,
+        backtrack_limit=backtrack_limit,
+        use_packed=use_packed,
+        use_events=use_events,
+    ).run(fill_seed=fill_seed, batch_fills=batch_fills)

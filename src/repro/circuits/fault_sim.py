@@ -89,12 +89,32 @@ class FaultSimulator:
         return self._netlist
 
     @property
+    def word_width(self) -> int:
+        return self._word_width
+
+    @property
     def remaining_faults(self) -> List[StuckAtFault]:
         return sorted(self._remaining)
 
     @property
     def detected_faults(self) -> List[StuckAtFault]:
         return sorted(self._detected)
+
+    def is_remaining(self, fault: StuckAtFault) -> bool:
+        """Set-backed membership test (``remaining_faults`` sorts a copy)."""
+        return fault in self._remaining
+
+    def drop_fault(self, fault: StuckAtFault) -> None:
+        """Move one fault from remaining to detected (a forced drop).
+
+        The ATPG loop uses this when a targeted fault is counted as
+        detected through its own unfilled cube (the random fill masked it):
+        without the drop, the simulator's coverage would disagree with the
+        returned :class:`~repro.circuits.atpg.AtpgResult`.
+        """
+        if fault in self._remaining:
+            self._remaining.discard(fault)
+            self._detected.add(fault)
 
     @property
     def coverage_percent(self) -> float:
@@ -135,6 +155,44 @@ class FaultSimulator:
             patterns.append(pattern)
         return self.simulate_patterns(patterns, drop=drop)
 
+    def detect_block(
+        self, good: Dict[str, int], num_patterns: int, drop: bool = True
+    ) -> FaultSimResult:
+        """Detect remaining faults against a precomputed fault-free block.
+
+        ``good`` maps every net (primary inputs included) to its packed
+        fault-free word over ``num_patterns`` patterns -- exactly what the
+        batched ATPG fill block accumulates one pattern at a time.  Skipping
+        the redundant re-evaluation of the fault-free circuit is what makes
+        handing a whole fill block over in one call worthwhile.
+        """
+        result = FaultSimResult(detected=self._detect_block(good, num_patterns))
+        if drop:
+            self._detected.update(result.detected)
+            self._remaining.difference_update(result.detected)
+        return result
+
+    def detection_word(
+        self, good: Dict[str, int], num_patterns: int, fault: StuckAtFault
+    ) -> int:
+        """Detection word of one fault against a precomputed fault-free block.
+
+        A pure query: nothing is dropped.  The batched ATPG loop screens
+        each upcoming fault against the pending fills with one such call
+        (one fanout-cone evaluation over all pending patterns, instead of
+        one per fill).
+        """
+        mask = (1 << num_patterns) - 1
+        if self._use_cones:
+            return self._cone_diff(good, mask, fault)
+        faulty = self._simulate_with_fault(good, num_patterns, fault)
+        diff = 0
+        for net in self._netlist.outputs:
+            diff |= (good[net] ^ faulty[net]) & mask
+            if diff == mask:
+                break
+        return diff
+
     def _simulate_block(
         self, block: Sequence[Dict[str, int]]
     ) -> Dict[StuckAtFault, int]:
@@ -145,6 +203,11 @@ class FaultSimulator:
         # The fault-free evaluation is computed once and shared by every
         # fault of the block (each fault only overlays its fanout cone).
         good = simulate_parallel(self._netlist, words, num_patterns)
+        return self._detect_block(good, num_patterns)
+
+    def _detect_block(
+        self, good: Dict[str, int], num_patterns: int
+    ) -> Dict[StuckAtFault, int]:
         mask = (1 << num_patterns) - 1
         detected: Dict[StuckAtFault, int] = {}
         outputs = self._netlist.outputs
@@ -152,7 +215,7 @@ class FaultSimulator:
             if self._use_cones:
                 diff = self._cone_diff(good, mask, fault)
             else:
-                faulty = self._simulate_with_fault(words, num_patterns, fault)
+                faulty = self._simulate_with_fault(good, num_patterns, fault)
                 diff = 0
                 for net in outputs:
                     diff |= (good[net] ^ faulty[net]) & mask

@@ -41,10 +41,18 @@ its 2-bit word) and the dense reference path of the fault simulator.
 The compiled plan (:func:`packed_plan`) indexes nets by position --
 primary inputs first, then gate outputs in evaluation order -- so the hot
 loops run on flat lists instead of name dictionaries.
+
+Besides the two batch evaluators (:func:`eval_binary`, :func:`eval_ternary`)
+the module provides :class:`TernaryEventEngine`: a persistent state that
+updates incrementally when one primary input changes, re-evaluating only the
+dirty fanout cone through a levelized event queue and recording every
+overwrite in an undo log so a caller (PODEM's backtracking search) can
+rewind in O(changed cone).
 """
 
 from __future__ import annotations
 
+import heapq
 from weakref import WeakKeyDictionary
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -114,6 +122,7 @@ class PackedPlan:
         "num_nets",
         "output_indices",
         "fanout",
+        "reader_rows",
     )
 
     def __init__(self, netlist: Netlist):
@@ -133,6 +142,15 @@ class PackedPlan:
         fanout = netlist.fanout()
         self.fanout: List[Tuple[int, ...]] = [
             tuple(index[reader] for reader in fanout[net]) for net in self.nets
+        ]
+        # Row positions reading each net, ascending -- the event queue of
+        # :class:`TernaryEventEngine` schedules re-evaluations with these.
+        readers: List[List[int]] = [[] for _ in range(self.num_nets)]
+        for position, (_output, _op, inputs, _inverting) in enumerate(self.rows):
+            for net in set(inputs):
+                readers[net].append(position)
+        self.reader_rows: List[Tuple[int, ...]] = [
+            tuple(positions) for positions in readers
         ]
 
 
@@ -246,6 +264,210 @@ def eval_ternary(
             value = (value & ~force_mask) | (force_value & force_mask)
         cares[output] = care
         values[output] = value
+
+
+# ----------------------------------------------------------------------
+# Event-driven incremental evaluation
+# ----------------------------------------------------------------------
+class TernaryEventEngine:
+    """Persistent packed ternary state with fanout-cone event updates.
+
+    Where :func:`eval_ternary` recomputes every gate of the plan,
+    this engine keeps the two-word state alive between queries and, on each
+    primary-input change, re-evaluates only the gates whose inputs actually
+    changed: a levelized event queue (a min-heap of plan-row positions)
+    walks the assigned input's fanout cone in topological order and stops
+    propagating wherever the recomputed ``(value, care)`` pair equals the
+    stored one.  Because rows are processed in ascending plan order, each
+    gate is evaluated at most once per update, and the resulting state is
+    identical to a from-scratch :func:`eval_ternary` pass over the same
+    inputs -- the golden-equivalence tests pin this.
+
+    Every overwritten word pair is pushed onto an **undo log**;
+    :meth:`assign` returns the log position before the update, and
+    :meth:`undo` rewinds to it.  That is exactly the shape of PODEM's
+    decision stack: assign a primary input, recurse, and on backtrack
+    restore the previous state in O(changed cone) instead of re-simulating
+    the netlist.
+
+    The engine carries the same stuck-at fault overlay as the batch
+    evaluators: ``force_index`` is re-forced to ``(force_mask,
+    force_value)`` whenever its net is re-evaluated (or re-assigned, for
+    input sites), so a PODEM faulty machine stays poisoned across
+    incremental updates.
+    """
+
+    __slots__ = (
+        "plan",
+        "mask",
+        "values",
+        "cares",
+        "force_index",
+        "force_mask",
+        "force_value",
+        "_undo",
+    )
+
+    def __init__(
+        self,
+        plan: PackedPlan,
+        mask: int,
+        input_values: Optional[Dict[str, Optional[int]]] = None,
+        force_index: int = -1,
+        force_mask: int = 0,
+        force_value: int = 0,
+    ):
+        self.plan = plan
+        self.mask = mask
+        self.force_index = force_index
+        self.force_mask = force_mask
+        self.force_value = force_value
+        self._undo: List[Tuple[int, int, int]] = []
+        values = [0] * plan.num_nets
+        cares = [0] * plan.num_nets
+        if input_values:
+            nets = plan.nets
+            for i in range(plan.num_inputs):
+                bit = input_values.get(nets[i])
+                if bit is not None:
+                    cares[i] = mask
+                    if bit:
+                        values[i] = mask
+        if 0 <= force_index < plan.num_inputs:
+            # Input-site overlay: force before the baseline evaluation
+            # (inputs have no plan row to force through).
+            cares[force_index] |= force_mask
+            values[force_index] = (values[force_index] & ~force_mask) | (
+                force_value & force_mask
+            )
+            gate_force = -1
+        else:
+            gate_force = force_index
+        self.values = values
+        self.cares = cares
+        eval_ternary(
+            plan,
+            values,
+            cares,
+            mask,
+            force_index=gate_force,
+            force_mask=force_mask,
+            force_value=force_value,
+        )
+
+    def checkpoint(self) -> int:
+        """The current undo-log position (rewind target for :meth:`undo`)."""
+        return len(self._undo)
+
+    def assign(self, index: int, bit: Optional[int]) -> int:
+        """Set primary input ``index`` to 0, 1 or X on every pattern.
+
+        Returns the undo token taken *before* the update; passing it to
+        :meth:`undo` restores the exact prior state.
+        """
+        token = len(self._undo)
+        mask = self.mask
+        if bit is None:
+            care = 0
+            value = 0
+        else:
+            care = mask
+            value = mask if bit else 0
+        if index == self.force_index:
+            care |= self.force_mask
+            value = (value & ~self.force_mask) | (self.force_value & self.force_mask)
+        values, cares = self.values, self.cares
+        if cares[index] == care and values[index] == value:
+            return token
+        self._undo.append((index, values[index], cares[index]))
+        values[index] = value
+        cares[index] = care
+        self._propagate(self.plan.reader_rows[index])
+        return token
+
+    def changed_indices(self, token: int) -> List[int]:
+        """Net indices written since ``token`` (each at most once per assign)."""
+        return [entry[0] for entry in self._undo[token:]]
+
+    def undo(self, token: int) -> List[int]:
+        """Rewind to a token returned by :meth:`assign`; returns the restored nets."""
+        undo = self._undo
+        values, cares = self.values, self.cares
+        restored = []
+        while len(undo) > token:
+            index, value, care = undo.pop()
+            values[index] = value
+            cares[index] = care
+            restored.append(index)
+        return restored
+
+    def _propagate(self, seed_rows: Sequence[int]) -> None:
+        """Re-evaluate the dirty fanout cone in ascending plan order."""
+        heap = list(seed_rows)
+        heapq.heapify(heap)
+        queued = set(heap)
+        plan = self.plan
+        rows = plan.rows
+        reader_rows = plan.reader_rows
+        values, cares = self.values, self.cares
+        mask = self.mask
+        force_index = self.force_index
+        undo = self._undo
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            # Pops come out ascending and pushes only ever target strictly
+            # larger positions, so a processed row can never be re-queued --
+            # ``queued`` needs additions only, no removal on pop.
+            position = pop(heap)
+            output, op, inputs, inverting = rows[position]
+            # Same row algebra as eval_ternary (kept in lockstep).
+            if op == OP_AND:
+                zero_any = 0
+                one_all = mask
+                for net in inputs:
+                    care = cares[net]
+                    value = values[net]
+                    zero_any |= care & ~value
+                    one_all &= value
+                care = (zero_any | one_all) & mask
+                value = one_all & care
+            elif op == OP_OR:
+                one_any = 0
+                zero_all = mask
+                for net in inputs:
+                    care = cares[net]
+                    value = values[net]
+                    one_any |= value
+                    zero_all &= care & ~value
+                care = (one_any | zero_all) & mask
+                value = one_any & care
+            elif op == OP_XOR:
+                care = mask
+                value = 0
+                for net in inputs:
+                    care &= cares[net]
+                    value ^= values[net]
+                value &= care
+            else:
+                care = cares[inputs[0]]
+                value = values[inputs[0]]
+            if inverting:
+                value = ~value & care
+            if output == force_index:
+                care |= self.force_mask
+                value = (value & ~self.force_mask) | (
+                    self.force_value & self.force_mask
+                )
+            if cares[output] == care and values[output] == value:
+                continue
+            undo.append((output, values[output], cares[output]))
+            values[output] = value
+            cares[output] = care
+            for reader in reader_rows[output]:
+                if reader not in queued:
+                    queued.add(reader)
+                    push(heap, reader)
 
 
 # ----------------------------------------------------------------------

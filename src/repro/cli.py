@@ -25,15 +25,17 @@ Python:
 ``atpg``
     Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
     random circuit) and write the resulting test-cube file.  Runs on the
-    packed two-word ternary core by default; ``--reference`` selects the
-    original dict-based engine (identical cubes, for cross-checks).
+    packed two-word ternary core with event-driven fanout-cone updates and
+    a batched drop block by default; ``--no-events`` falls back to the
+    full-pass per-fill engine and ``--reference`` to the original
+    dict-based engine (identical cubes either way, for cross-checks).
 
 ``bench``
     Benchmark the hot kernels (encoding solvability scan, parallel-pattern
-    fault simulation, PODEM on the packed ternary core, warm-sweep
-    embedding matching, context encode-reuse), write the ``BENCH_*.json``
-    reports, and optionally fail on a regression against a committed
-    baseline directory.
+    fault simulation, PODEM on the packed ternary core, the event-driven
+    PODEM increment, warm-sweep embedding matching, context encode-reuse),
+    write the ``BENCH_*.json`` reports, and optionally fail on a
+    regression against a committed baseline directory.
 
 Examples
 --------
@@ -307,7 +309,11 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
             "generated", num_inputs=args.inputs, num_gates=args.gates, seed=args.seed
         )
     result = generate_test_set_for_netlist(
-        netlist, fill_seed=args.seed, use_packed=not args.reference
+        netlist,
+        fill_seed=args.seed,
+        use_packed=not args.reference,
+        use_events=not args.no_events,
+        batch_fills=not args.no_events,
     )
     stats = result.test_set.stats()
     print(
@@ -464,6 +470,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--reference", action="store_true",
         help="use the dict-based reference PODEM engine instead of the "
              "packed ternary core (identical cubes, ~10x slower)",
+    )
+    atpg_parser.add_argument(
+        "--no-events", action="store_true",
+        help="disable the event-driven fanout-cone updates and the batched "
+             "drop block; every decision node re-evaluates the whole "
+             "netlist and fills are simulated one by one (identical "
+             "cubes, for cross-checks)",
     )
     atpg_parser.set_defaults(func=_cmd_atpg)
 

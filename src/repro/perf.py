@@ -1,6 +1,6 @@
 """Hot-kernel benchmarks and the regression harness behind ``repro bench``.
 
-Five kernels dominate campaign wall time and are measured here:
+Six kernels dominate campaign wall time and are measured here:
 
 ``encoding``
     The window-based solvability scan (batched GF(2) trials, residual
@@ -15,12 +15,19 @@ Five kernels dominate campaign wall time and are measured here:
     detected-fault sets.
 
 ``atpg``
-    PODEM test generation on the packed two-word ternary core (one dual
-    good/faulty machine evaluation per decision node; see
+    PODEM test generation on the packed two-word ternary core (event-driven
+    fanout-cone updates per decision node, batched drop simulation; see
     :mod:`repro.circuits.ternary`) -- timed against the dict-based
-    reference engine (``use_packed=False``) and checked for bit-identical
-    :class:`~repro.circuits.atpg.AtpgResult`\\ s (cubes, partitions,
-    coverage).
+    reference engine (``use_packed=False``, per-pattern fills) and checked
+    for bit-identical :class:`~repro.circuits.atpg.AtpgResult`\\ s (cubes,
+    partitions, coverage).
+
+``atpg-events``
+    The incremental step in isolation: event-driven PODEM plus the batched
+    fill block against the full-pass packed engine (``use_events=False``,
+    ``batch_fills=False``) -- the PR 4 default, which re-evaluated the
+    whole netlist once per decision node and fault-simulated one fill at a
+    time.  Results are again checked for bit-identity.
 
 ``embedding``
     The warm-sweep embedding-map build: with the seed windows expanded
@@ -65,7 +72,7 @@ from repro.testdata.profiles import get_profile
 from repro.testdata.synthetic import generate_test_set
 
 #: Kernel names in report order.
-KERNELS = ("encoding", "faultsim", "atpg", "embedding", "context")
+KERNELS = ("encoding", "faultsim", "atpg", "atpg-events", "embedding", "context")
 
 
 @dataclass
@@ -336,7 +343,13 @@ _ATPG_CASES = {
 }
 
 
-def _atpg_timed(num_inputs: int, num_gates: int, packed: bool):
+def _atpg_timed(
+    num_inputs: int,
+    num_gates: int,
+    packed: bool,
+    events: bool = True,
+    batch: bool = True,
+):
     """Full PODEM run (generation + drop simulation); returns (wall, result)."""
     from repro.circuits.atpg import PodemAtpg
     from repro.circuits.generator import random_netlist
@@ -344,20 +357,58 @@ def _atpg_timed(num_inputs: int, num_gates: int, packed: bool):
     netlist = random_netlist(
         "bench", num_inputs=num_inputs, num_gates=num_gates, seed=7
     )
-    atpg = PodemAtpg(netlist, use_packed=packed)
+    atpg = PodemAtpg(netlist, use_packed=packed, use_events=events)
     start = time.perf_counter()
-    result = atpg.run()
+    result = atpg.run(batch_fills=batch)
     return time.perf_counter() - start, result
 
 
-def bench_atpg(quick: bool = False, repeat: int = 2) -> KernelReport:
-    """Measure PODEM on the packed ternary core vs the dict reference.
+def _atpg_result_case(
+    name: str,
+    num_inputs: int,
+    num_gates: int,
+    wall: float,
+    result,
+    ref_wall: float,
+    ref_result,
+) -> KernelCase:
+    """A KernelCase comparing two full AtpgResults bit for bit."""
+    verified = (
+        result.test_set.cubes == ref_result.test_set.cubes
+        and result.detected == ref_result.detected
+        and result.redundant == ref_result.redundant
+        and result.aborted == ref_result.aborted
+        and result.total_faults == ref_result.total_faults
+    )
+    return KernelCase(
+        name=name,
+        wall_s=wall,
+        throughput=result.total_faults / wall if wall > 0 else 0.0,
+        unit="faults/s",
+        reference_wall_s=ref_wall,
+        speedup=ref_wall / wall if wall > 0 else 0.0,
+        verified=verified,
+        detail={
+            "num_inputs": num_inputs,
+            "num_gates": num_gates,
+            "total_faults": result.total_faults,
+            "num_cubes": len(result.test_set.cubes),
+            "coverage_pct": round(result.effective_coverage_percent, 2),
+        },
+    )
 
-    Both engines run the identical objective/backtrace decision tree, so
-    the verification compares the complete :class:`AtpgResult`: the cube
-    list, the detected/redundant/aborted partitions and the fault total.
-    The reference engine *is* the pre-PR implementation, so ``speedup``
-    doubles as the speedup-vs-pre-PR figure.
+
+def bench_atpg(quick: bool = False, repeat: int = 2) -> KernelReport:
+    """Measure the default ATPG engine vs the dict reference.
+
+    The optimized side is what ``repro atpg`` runs today: PODEM on the
+    packed ternary core with event-driven fanout-cone updates and the
+    batched fill block.  All engines run the identical objective/backtrace
+    decision tree, so the verification compares the complete
+    :class:`AtpgResult`: the cube list, the detected/redundant/aborted
+    partitions and the fault total.  The reference engine *is* the pre-PR 4
+    implementation, so ``speedup`` doubles as the cumulative
+    speedup-vs-pre-PR figure.
     """
     mode = "quick" if quick else "full"
     cases: List[KernelCase] = []
@@ -366,34 +417,64 @@ def bench_atpg(quick: bool = False, repeat: int = 2) -> KernelReport:
             repeat, lambda: _atpg_timed(num_inputs, num_gates, True)
         )
         ref_wall, ref_result = _best_of(
-            repeat, lambda: _atpg_timed(num_inputs, num_gates, False)
-        )
-        verified = (
-            result.test_set.cubes == ref_result.test_set.cubes
-            and result.detected == ref_result.detected
-            and result.redundant == ref_result.redundant
-            and result.aborted == ref_result.aborted
-            and result.total_faults == ref_result.total_faults
+            repeat,
+            lambda: _atpg_timed(
+                num_inputs, num_gates, False, events=False, batch=False
+            ),
         )
         cases.append(
-            KernelCase(
-                name=name,
-                wall_s=wall,
-                throughput=result.total_faults / wall if wall > 0 else 0.0,
-                unit="faults/s",
-                reference_wall_s=ref_wall,
-                speedup=ref_wall / wall if wall > 0 else 0.0,
-                verified=verified,
-                detail={
-                    "num_inputs": num_inputs,
-                    "num_gates": num_gates,
-                    "total_faults": result.total_faults,
-                    "num_cubes": len(result.test_set.cubes),
-                    "coverage_pct": round(result.effective_coverage_percent, 2),
-                },
+            _atpg_result_case(
+                name, num_inputs, num_gates, wall, result, ref_wall, ref_result
             )
         )
     return KernelReport(kernel="atpg", mode=mode, cases=cases)
+
+
+# ----------------------------------------------------------------------
+# ATPG event-driven kernel (incremental PODEM + batched drop block)
+# ----------------------------------------------------------------------
+_ATPG_EVENTS_QUICK = [
+    ("g300-events", 48, 300),
+]
+_ATPG_EVENTS_CASES = {
+    "quick": _ATPG_EVENTS_QUICK,
+    "full": _ATPG_EVENTS_QUICK
+    + [
+        ("g600-events", 64, 600),
+        ("g1000-events", 96, 1000),
+    ],
+}
+
+
+def bench_atpg_events(quick: bool = False, repeat: int = 2) -> KernelReport:
+    """Measure event-driven PODEM + batched drops vs the full-pass engine.
+
+    Isolates this PR's step: the reference side is the *previous* default
+    (packed two-word core, full netlist re-evaluation per decision node,
+    one fault-simulation call per fill), the optimized side adds the
+    levelized event queue with the undo log and the word-packed fill
+    block.  The per-decision cost becomes proportional to the assigned
+    input's fanout cone instead of the netlist, so the win grows with
+    circuit size.
+    """
+    mode = "quick" if quick else "full"
+    cases: List[KernelCase] = []
+    for name, num_inputs, num_gates in _ATPG_EVENTS_CASES[mode]:
+        wall, result = _best_of(
+            repeat, lambda: _atpg_timed(num_inputs, num_gates, True)
+        )
+        ref_wall, ref_result = _best_of(
+            repeat,
+            lambda: _atpg_timed(
+                num_inputs, num_gates, True, events=False, batch=False
+            ),
+        )
+        cases.append(
+            _atpg_result_case(
+                name, num_inputs, num_gates, wall, result, ref_wall, ref_result
+            )
+        )
+    return KernelReport(kernel="atpg-events", mode=mode, cases=cases)
 
 
 # ----------------------------------------------------------------------
@@ -609,6 +690,7 @@ _BENCHES = {
     "encoding": bench_encoding,
     "faultsim": bench_faultsim,
     "atpg": bench_atpg,
+    "atpg-events": bench_atpg_events,
     "embedding": bench_embedding,
     "context": bench_context,
 }

@@ -236,6 +236,75 @@ class TestStore:
         with pytest.raises(ValueError, match="corrupt result store"):
             ResultStore(tmp_path)
 
+    def test_torn_trailing_line_tolerated_and_resumable(self, tmp_path, tiny_config):
+        """A crash mid-append leaves a partial final line; the store must
+        load the intact records, warn, and accept new appends cleanly."""
+        store = ResultStore(tmp_path)
+        base = dict(
+            job_id="j", circuit="c", fingerprint="f",
+            config=tiny_config.to_dict(), status="ok",
+            summary={"circuit": "c"},
+        )
+        store.put(StoredResult(key="k1", **base))
+        store.put(StoredResult(key="k2", **base))
+        path = tmp_path / "results.jsonl"
+        intact = path.read_text()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "k3", "job_id": "j", "circ')  # torn append
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 2
+        assert reloaded.completed("k1") and reloaded.completed("k2")
+        # The torn fragment was truncated away, so resuming appends starts
+        # on a clean line boundary and survives another reload.
+        assert path.read_text() == intact
+        reloaded.put(StoredResult(key="k3", **base))
+        final = ResultStore(tmp_path)
+        assert len(final) == 3
+        assert final.completed("k3")
+
+    def test_unterminated_but_complete_final_record_is_kept(self, tmp_path, tiny_config):
+        """A crash between the record write and the newline write leaves a
+        complete record with no trailing newline: keep it, restore the
+        newline, and make sure the next append starts a fresh line."""
+        store = ResultStore(tmp_path)
+        base = dict(
+            job_id="j", circuit="c", fingerprint="f",
+            config=tiny_config.to_dict(), status="ok", summary={},
+        )
+        store.put(StoredResult(key="k1", **base))
+        path = tmp_path / "results.jsonl"
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.completed("k1")
+        assert path.read_bytes().endswith(b"\n")
+        reloaded.put(StoredResult(key="k2", **base))
+        final = ResultStore(tmp_path)
+        assert len(final) == 2
+        assert final.completed("k1") and final.completed("k2")
+
+    def test_interior_corruption_still_raises(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        store.put(StoredResult(
+            key="k1", job_id="j", circuit="c", fingerprint="f",
+            config=tiny_config.to_dict(), status="ok", summary={},
+        ))
+        path = tmp_path / "results.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{torn mid-file}\n")  # complete line, bad JSON
+            handle.write(
+                '{"key": "k2", "job_id": "j", "circuit": "c", '
+                '"fingerprint": "f", "config": {}, "status": "ok"}\n'
+            )
+        with pytest.raises(ValueError, match="corrupt result store"):
+            ResultStore(tmp_path)
+
+    def test_complete_but_corrupt_final_line_still_raises(self, tmp_path):
+        """Only a *torn* (unterminated) final line is forgiven."""
+        (tmp_path / "results.jsonl").write_text("{bad json}\n")
+        with pytest.raises(ValueError, match="corrupt result store"):
+            ResultStore(tmp_path)
+
     def test_stage_timings_and_cache_stats_round_trip(self, tmp_path, tiny_config):
         store = ResultStore(tmp_path)
         store.put(

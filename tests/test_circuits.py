@@ -238,6 +238,52 @@ class TestFaultSimulation:
         first = result.detected_faults()[0]
         assert result.detecting_pattern(first) in (0, 1)
 
+    def test_is_remaining_tracks_drops(self):
+        net = c17()
+        simulator = FaultSimulator(net)
+        fault = simulator.remaining_faults[0]
+        assert simulator.is_remaining(fault)
+        simulator.simulate_patterns(
+            [
+                {pin: (value >> i) & 1 for i, pin in enumerate(net.inputs)}
+                for value in range(32)
+            ]
+        )
+        assert not simulator.is_remaining(fault)
+        assert not simulator.is_remaining(StuckAtFault("not_a_net", 0))
+
+    def test_drop_fault_counts_as_detected(self):
+        net = c17()
+        simulator = FaultSimulator(net)
+        fault = simulator.remaining_faults[0]
+        simulator.drop_fault(fault)
+        assert not simulator.is_remaining(fault)
+        assert fault in simulator.detected_faults
+        before = simulator.coverage_percent
+        simulator.drop_fault(fault)  # idempotent
+        assert simulator.coverage_percent == before
+
+    def test_detect_block_matches_simulate_patterns(self):
+        from repro.circuits.simulator import pack_patterns, simulate_parallel
+
+        net = c17()
+        patterns = [
+            {pin: (value >> i) & 1 for i, pin in enumerate(net.inputs)}
+            for value in (3, 12, 25, 30)
+        ]
+        by_patterns = FaultSimulator(net)
+        expected = by_patterns.simulate_patterns(patterns)
+        by_block = FaultSimulator(net)
+        good = simulate_parallel(net, pack_patterns(net, patterns), len(patterns))
+        actual = by_block.detect_block(good, len(patterns))
+        assert actual.detected == expected.detected
+        assert by_block.remaining_faults == by_patterns.remaining_faults
+        # detection_word is a pure query of the same state.
+        fault = actual.detected_faults()[0]
+        assert by_block.detection_word(good, len(patterns), fault) == (
+            actual.detected[fault]
+        )
+
 
 class TestAtpg:
     def test_c17_full_coverage(self):

@@ -132,6 +132,23 @@ class TestAtpgCommand:
         assert code == 0
         assert "collapsed faults" in capsys.readouterr().out
 
+    def test_atpg_engine_flags_agree(self, tmp_path, capsys):
+        """--no-events and --reference produce the default engine's cubes."""
+        outputs = {}
+        for flag in ("default", "--no-events", "--reference"):
+            out_path = tmp_path / f"{flag.strip('-')}.tests"
+            argv = [
+                "atpg", "--inputs", "10", "--gates", "40", "--seed", "4",
+                "--output", str(out_path),
+            ]
+            if flag != "default":
+                argv.append(flag)
+            assert main(argv) == 0
+            outputs[flag] = out_path.read_text()
+        capsys.readouterr()
+        assert outputs["default"] == outputs["--no-events"]
+        assert outputs["default"] == outputs["--reference"]
+
 
 class TestProfileStats:
     def test_compress_dumps_cprofile_stats(self, cube_file, tmp_path, capsys):
@@ -189,17 +206,20 @@ class TestBenchCommand:
         encoding = json.loads((out_dir / "BENCH_encoding.json").read_text())
         faultsim = json.loads((out_dir / "BENCH_faultsim.json").read_text())
         atpg = json.loads((out_dir / "BENCH_atpg.json").read_text())
+        atpg_events = json.loads((out_dir / "BENCH_atpg-events.json").read_text())
         embedding = json.loads((out_dir / "BENCH_embedding.json").read_text())
         context = json.loads((out_dir / "BENCH_context.json").read_text())
         assert encoding["kernel"] == "encoding" and encoding["cases"]
         assert faultsim["kernel"] == "faultsim" and faultsim["cases"]
         assert atpg["kernel"] == "atpg" and atpg["cases"]
+        assert atpg_events["kernel"] == "atpg-events" and atpg_events["cases"]
         assert embedding["kernel"] == "embedding" and embedding["cases"]
         assert context["kernel"] == "context" and context["cases"]
         all_cases = (
             encoding["cases"]
             + faultsim["cases"]
             + atpg["cases"]
+            + atpg_events["cases"]
             + embedding["cases"]
             + context["cases"]
         )
@@ -208,7 +228,7 @@ class TestBenchCommand:
             assert case["wall_s"] > 0
             assert case["throughput"] > 0
         # The optimized engines must beat their in-repo references.
-        for report in (atpg, embedding, context):
+        for report in (atpg, atpg_events, embedding, context):
             for case in report["cases"]:
                 assert case["speedup"] > 1.0
         # Results land in the campaign store with elapsed_s populated.

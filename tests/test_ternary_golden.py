@@ -8,7 +8,12 @@ replaced:
   netlists and randomized partial (0/1/X) assignments;
 * the packed fault-injection overlay (PODEM's faulty machine, and the fault
   simulator's dense path) vs the reference faulty evaluation;
-* full PODEM ATPG: packed engine vs dict engine, cube for cube;
+* the event-driven incremental engine (assign/undo over the levelized
+  event queue) vs from-scratch packed evaluation, fault overlays included;
+* full PODEM ATPG: event-driven engine vs full-pass packed engine vs dict
+  engine, cube for cube;
+* the batched drop-simulation block vs the per-pattern fill loop, and the
+  returned detections vs the fault simulator's own bookkeeping;
 * the uint64-blocked seed-window expansion vs the integer expansion;
 * the vectorized embedding map vs the pure-Python scan on a small grid;
 * the segment-batched decompressor simulation vs the clock-level replay.
@@ -104,6 +109,81 @@ class TestFaultOverlayGolden:
             assert good == simulate_ternary_reference(netlist, assignment)
 
 
+class TestEventEngineGolden:
+    """The incremental engine state equals from-scratch packed evaluation."""
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_random_assign_undo_walk_matches_full_eval(self, seed):
+        from repro.circuits.ternary import (
+            TernaryEventEngine,
+            eval_ternary,
+            packed_plan,
+            seed_ternary_inputs,
+        )
+
+        rng = random.Random(seed)
+        netlist = random_netlist(
+            f"randev{seed}",
+            num_inputs=rng.randint(8, 20),
+            num_gates=rng.randint(40, 140),
+            seed=seed,
+        )
+        plan = packed_plan(netlist)
+        engine = TernaryEventEngine(plan, 1)
+        assignment = {}
+        tokens = []
+        for _ in range(120):
+            action = rng.random()
+            if action < 0.6 or not tokens:
+                net = rng.choice(netlist.inputs)
+                bit = rng.getrandbits(1)
+                tokens.append((net, assignment.get(net), engine.checkpoint()))
+                engine.assign(plan.index[net], bit)
+                assignment[net] = bit
+            else:
+                net, previous, token = tokens.pop()
+                engine.undo(token)
+                if previous is None:
+                    assignment.pop(net, None)
+                else:
+                    assignment[net] = previous
+            values, cares = seed_ternary_inputs(plan, assignment)
+            eval_ternary(plan, values, cares, 1)
+            assert engine.values == values
+            assert engine.cares == cares
+
+    @pytest.mark.parametrize("seed", [24, 25])
+    def test_engine_with_fault_overlay_matches_dual_state(self, seed):
+        from repro.circuits.atpg import PodemAtpg
+
+        rng = random.Random(seed)
+        netlist = random_netlist(
+            f"randov{seed}", num_inputs=12, num_gates=70, seed=seed
+        )
+        atpg = PodemAtpg(netlist)
+        plan = atpg._plan
+        faults = collapse_faults(netlist)
+        for fault in rng.sample(faults, min(10, len(faults))):
+            engine = atpg._event_engine(fault)
+            assignment = {}
+            for _ in range(12):
+                net = rng.choice(netlist.inputs)
+                bit = rng.getrandbits(1)
+                engine.assign(plan.index[net], bit)
+                assignment[net] = bit
+                values, cares = atpg._dual_state(fault, assignment)
+                assert engine.values == values
+                assert engine.cares == cares
+
+
+def _assert_results_identical(left, right):
+    assert left.test_set.cubes == right.test_set.cubes
+    assert left.detected == right.detected
+    assert left.redundant == right.redundant
+    assert left.aborted == right.aborted
+    assert left.total_faults == right.total_faults
+
+
 class TestPodemGolden:
     @pytest.mark.parametrize("seed", [7, 8])
     def test_packed_and_reference_engines_identical(self, seed):
@@ -112,11 +192,81 @@ class TestPodemGolden:
         )
         packed = PodemAtpg(netlist, use_packed=True).run()
         reference = PodemAtpg(netlist, use_packed=False).run()
-        assert packed.test_set.cubes == reference.test_set.cubes
-        assert packed.detected == reference.detected
-        assert packed.redundant == reference.redundant
-        assert packed.aborted == reference.aborted
-        assert packed.total_faults == reference.total_faults
+        _assert_results_identical(packed, reference)
+
+    @pytest.mark.parametrize("seed", [7, 8, 9, 10])
+    def test_event_driven_and_full_pass_engines_identical(self, seed):
+        netlist = random_netlist(
+            f"randq{seed}", num_inputs=18, num_gates=110, seed=seed
+        )
+        events = PodemAtpg(netlist, use_events=True).run()
+        full_pass = PodemAtpg(netlist, use_events=False).run()
+        _assert_results_identical(events, full_pass)
+
+    @pytest.mark.parametrize("seed", [12, 13, 14])
+    def test_batched_and_per_pattern_drops_identical(self, seed):
+        netlist = random_netlist(
+            f"randd{seed}", num_inputs=20, num_gates=120, seed=seed
+        )
+        atpg = PodemAtpg(netlist)
+        batched = atpg.run(fill_seed=seed, batch_fills=True)
+        per_pattern = atpg.run(fill_seed=seed, batch_fills=False)
+        _assert_results_identical(batched, per_pattern)
+
+    def test_batched_drops_identical_without_fault_dropping(self):
+        netlist = random_netlist("randnd", num_inputs=14, num_gates=60, seed=15)
+        atpg = PodemAtpg(netlist)
+        batched = atpg.run(fault_dropping=False, batch_fills=True)
+        per_pattern = atpg.run(fault_dropping=False, batch_fills=False)
+        _assert_results_identical(batched, per_pattern)
+
+    def test_small_fill_block_forces_mid_run_flushes(self):
+        """A tiny word width makes the block flush many times mid-run."""
+        from unittest.mock import patch
+
+        from repro.circuits.fault_sim import FaultSimulator
+
+        netlist = random_netlist("randfl", num_inputs=16, num_gates=80, seed=16)
+        atpg = PodemAtpg(netlist)
+        per_pattern = atpg.run(batch_fills=False)
+        original_init = FaultSimulator.__init__
+
+        def tiny_width_init(self, *args, **kwargs):
+            kwargs["word_width"] = 3
+            original_init(self, *args, **kwargs)
+
+        with patch.object(FaultSimulator, "__init__", tiny_width_init):
+            batched = atpg.run(batch_fills=True)
+        _assert_results_identical(batched, per_pattern)
+
+    def test_masked_fill_force_count_reconciles(self, monkeypatch):
+        """Force-counted targets must be dropped from the simulator too.
+
+        Every fill is made to mask every fault, so each generated cube's
+        target goes through the force-count path.  ``run`` asserts its
+        detected list against ``FaultSimulator.detected_faults`` at the
+        end; before the reconcile fix, that disagreed (the simulator kept
+        force-counted targets as remaining).
+        """
+        from repro.circuits import fault_sim as fault_sim_module
+
+        monkeypatch.setattr(
+            fault_sim_module.FaultSimulator,
+            "_detect_block",
+            lambda self, good, num_patterns: {},
+        )
+        monkeypatch.setattr(
+            fault_sim_module.FaultSimulator,
+            "detection_word",
+            lambda self, good, num_patterns, fault: 0,
+        )
+        netlist = random_netlist("randmk", num_inputs=14, num_gates=70, seed=17)
+        atpg = PodemAtpg(netlist)
+        for batch in (True, False):
+            result = atpg.run(batch_fills=batch)
+            # Nothing is ever detected by simulation, so the detected list
+            # is exactly the (force-counted) targets of the generated cubes.
+            assert len(result.detected) == len(result.test_set.cubes)
 
 
 # ----------------------------------------------------------------------
