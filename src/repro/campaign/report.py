@@ -8,11 +8,31 @@ written weeks ago, without re-running anything.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.reporting import format_table, improvement_table, pivot_rows
+from repro.telemetry import MetricsRegistry
 
 SummaryRow = Dict[str, object]
+
+
+def cache_hit_rate_lines(
+    cache_stats: Mapping[str, float], indent: str = "  "
+) -> List[str]:
+    """Render aggregated context-cache counters as ``kind hits/total (rate)``.
+
+    ``cache_stats`` is any summed counter mapping (e.g.
+    :meth:`~repro.campaign.runner.CampaignResult.cache_stat_totals` or the
+    totals accumulated from stored records); the ``*_hits`` / ``*_misses``
+    pairing is resolved by the metrics registry, so the report and the
+    telemetry summary agree on the derived rates.
+    """
+    registry = MetricsRegistry()
+    registry.merge({"counters": dict(cache_stats)})
+    return [
+        f"{indent}{kind}: {int(hits)}/{int(total)} hits ({rate * 100:.1f}%)"
+        for kind, (hits, total, rate) in registry.hit_rates().items()
+    ]
 
 
 def _by_circuit(rows: Iterable[SummaryRow]) -> Dict[str, List[SummaryRow]]:
@@ -90,8 +110,15 @@ def campaign_report(
     title: str = "campaign",
     row_axis: str = "speedup",
     col_axis: str = "segment_size",
+    cache_stats: Optional[Mapping[str, float]] = None,
 ) -> str:
-    """Full text report: one improvement grid per circuit plus the best table."""
+    """Full text report: one improvement grid per circuit plus the best table.
+
+    ``cache_stats`` (summed context-cache counters, e.g.
+    :meth:`~repro.campaign.runner.CampaignResult.cache_stat_totals`) adds an
+    aggregated cache hit-rate section, so the sharing the runner achieved
+    survives into the report instead of vanishing with the job groups.
+    """
     rows = list(rows)
     if not rows:
         return f"campaign {title}: no successful results\n"
@@ -108,4 +135,10 @@ def campaign_report(
             )
         )
     sections.append(best_config_table(rows))
+    if cache_stats:
+        rate_lines = cache_hit_rate_lines(cache_stats)
+        if rate_lines:
+            sections.append(
+                "\n".join(["", "aggregated cache hit-rates:"] + rate_lines)
+            )
     return "\n".join(sections)

@@ -54,6 +54,7 @@ from repro.campaign.store import (
 from repro.config import CompressionConfig
 from repro.context import CompressionContext, ContextStats
 from repro.pipeline import compress
+from repro.telemetry import Recorder, get_recorder, set_recorder, use_recorder
 from repro.testdata.test_set import TestSet
 
 #: Extra outcome states of a single campaign run (never persisted).
@@ -196,7 +197,33 @@ def _execute_group_payload(
         if queue is not None:
             queue.put(result)
 
-    context = CompressionContext()
+    # Telemetry wiring.  On the pool path (queue given) the worker gets its
+    # own recorder and ships a per-job batch back inside each result dict;
+    # inline (jobs=1, queue=None) the caller's installed recorder receives
+    # the spans directly and nothing is shipped (absorbing a batch there
+    # would double-count).  The context's stats are bound to the recorder's
+    # registry, so cache counters and stage timings flow into the telemetry
+    # stream with no extra plumbing.
+    trace = bool(payload.get("trace"))
+    ship_telemetry = trace and queue is not None
+    if ship_telemetry:
+        recorder = Recorder(run_id=str(payload.get("run_id", "")))
+        set_recorder(recorder)
+    else:
+        recorder = get_recorder()
+        trace = trace and recorder.enabled
+    # The batch mark is taken *before* any payload-level telemetry (queue
+    # wait, parse) so the first job's delta carries it home.
+    mark = recorder.mark() if ship_telemetry else None
+    if trace:
+        queued_at = payload.get("queued_at")
+        if queued_at is not None:
+            recorder.observe(
+                "campaign.queue_wait_s", max(0.0, time.time() - queued_at)
+            )
+    context = CompressionContext(
+        stats=ContextStats(registry=recorder.metrics) if trace else None
+    )
     try:
         test_set = TestSet.from_text(payload["test_text"], name=payload["circuit"])
     except Exception:
@@ -229,37 +256,46 @@ def _execute_group_payload(
         before = context.stats.snapshot()
         try:
             config = CompressionConfig.from_dict(job["config"])
-            report = compress(
-                test_set, config, verify=payload["verify"], context=context
-            )
-            delta = ContextStats.delta(before, context.stats.snapshot())
-            emit(
-                {
-                    "index": job["index"],
-                    "status": STATUS_OK,
-                    "summary": report.summary(),
-                    "error": None,
-                    "elapsed_s": time.perf_counter() - start,
-                    "stage_timings": {
-                        name[:-2]: seconds
-                        for name, seconds in delta.items()
-                        if name.endswith("_s")
-                    },
-                    "cache_stats": {
-                        name: int(count)
-                        for name, count in delta.items()
-                        if not name.endswith("_s")
-                    },
-                }
-            )
-        except Exception:
-            emit(
-                _job_error(
-                    job["index"],
-                    traceback.format_exc(limit=8),
-                    elapsed_s=time.perf_counter() - start,
+            with recorder.span(
+                "campaign.job",
+                job_id=job["job_id"],
+                circuit=payload["circuit"],
+            ):
+                report = compress(
+                    test_set, config, verify=payload["verify"], context=context
                 )
+            delta = ContextStats.delta(before, context.stats.snapshot())
+            result = {
+                "index": job["index"],
+                "status": STATUS_OK,
+                "summary": report.summary(),
+                "error": None,
+                "elapsed_s": time.perf_counter() - start,
+                "stage_timings": {
+                    name[:-2]: seconds
+                    for name, seconds in delta.items()
+                    if name.endswith("_s")
+                },
+                "cache_stats": {
+                    name: int(count)
+                    for name, count in delta.items()
+                    if not name.endswith("_s")
+                },
+            }
+            if ship_telemetry:
+                result["telemetry"] = recorder.collect(mark)
+                mark = recorder.mark()
+            emit(result)
+        except Exception:
+            result = _job_error(
+                job["index"],
+                traceback.format_exc(limit=8),
+                elapsed_s=time.perf_counter() - start,
             )
+            if ship_telemetry:
+                result["telemetry"] = recorder.collect(mark)
+                mark = recorder.mark()
+            emit(result)
     return results
 
 
@@ -323,6 +359,13 @@ class CampaignRunner:
         record are returned as cache hits without recomputation; their
         outcomes carry the stored record's original ``elapsed_s``,
         ``stage_timings`` and ``cache_stats``.
+    recorder:
+        A :class:`~repro.telemetry.Recorder` to collect campaign telemetry
+        into (defaults to the process-wide active recorder).  When enabled,
+        every worker runs with its own recorder and streams a per-job span
+        /metric batch back inside the existing result dicts; the parent
+        absorbs each batch in arrival order, so one recorder ends up with
+        the full multi-process span tree.
     """
 
     def __init__(
@@ -332,6 +375,7 @@ class CampaignRunner:
         jobs: int = 1,
         timeout: Optional[float] = None,
         resume: bool = True,
+        recorder=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -340,6 +384,7 @@ class CampaignRunner:
         self._jobs = jobs
         self._timeout = timeout
         self._resume = resume
+        self._recorder = recorder if recorder is not None else get_recorder()
 
     # ------------------------------------------------------------------
     # Execution
@@ -396,6 +441,9 @@ class CampaignRunner:
                     "fingerprint": fingerprint,
                     "verify": self._spec.verify,
                     "timeout": self._timeout,
+                    "trace": self._recorder.enabled,
+                    "run_id": self._recorder.run_id,
+                    "queued_at": time.time(),
                     "jobs": [],
                 }
                 groups[group_key] = group
@@ -404,6 +452,8 @@ class CampaignRunner:
             )
 
         def finish(result: Dict[str, object]) -> None:
+            if self._recorder.enabled:
+                self._recorder.absorb(result.get("telemetry"))
             index = result["index"]
             job, key, config_dict, fingerprint = pending[index]
             outcome = JobOutcome(
@@ -438,14 +488,36 @@ class CampaignRunner:
 
         payloads = list(groups.values())
         if payloads:
-            if self._jobs == 1:
-                for payload in payloads:
-                    for result in _execute_group_payload(payload):
-                        finish(result)
-            else:
-                self._run_pool(
-                    _split_for_parallelism(payloads, self._jobs), finish
-                )
+            recorder = self._recorder
+            with recorder.span(
+                "campaign.run",
+                campaign=self._spec.name,
+                jobs=len(job_specs),
+                pending=len(pending),
+            ):
+                if recorder.enabled:
+                    recorder.counter(
+                        "campaign.jobs_cached", len(job_specs) - len(pending)
+                    )
+                if self._jobs == 1:
+                    if recorder.enabled:
+                        recorder.gauge("campaign.workers", 1)
+                    # Inline execution records into this recorder directly
+                    # (install it so the worker body's get_recorder() sees
+                    # it even when the caller never set a global one).
+                    with use_recorder(recorder):
+                        for payload in payloads:
+                            for result in _execute_group_payload(payload):
+                                finish(result)
+                else:
+                    chunks = _split_for_parallelism(payloads, self._jobs)
+                    if recorder.enabled:
+                        # After splitting: the split exists precisely so
+                        # every worker has a chunk.
+                        recorder.gauge(
+                            "campaign.workers", min(self._jobs, len(chunks))
+                        )
+                    self._run_pool(chunks, finish)
         return CampaignResult(campaign=self._spec.name, outcomes=outcomes)
 
     # ------------------------------------------------------------------

@@ -87,14 +87,35 @@ class StoredResult:
 
 
 class ResultStore:
-    """Append-only, content-addressed store of campaign results."""
+    """Append-only, content-addressed store of campaign results.
+
+    Appends go through one persistent file handle (opened lazily on the
+    first :meth:`put`, flushed after every record, closed by :meth:`close`
+    or the context-manager exit) instead of a reopen per record -- a
+    campaign streaming hundreds of results pays one ``open`` total.  The
+    handle is append-mode, so the torn-tail repair in :meth:`_load` (which
+    truncates through a separate handle before any ``put``) is unaffected.
+    """
 
     def __init__(self, root: "str | Path"):
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._path = self._root / RESULTS_FILENAME
         self._index: Dict[str, StoredResult] = {}
+        self._handle = None
         self._load()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the append handle (safe to call repeatedly)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -141,13 +162,22 @@ class ResultStore:
     # ------------------------------------------------------------------
     def put(self, record: StoredResult) -> None:
         """Append one record and update the index (last record wins)."""
-        with self._path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True))
-            handle.write("\n")
+        if self._handle is None:
+            self._handle = self._path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        # Explicit flush: the record must be durable (and visible to
+        # ``reload`` in this or another process) before put returns --
+        # the crash-consistency contract is per record, not per close.
+        self._handle.flush()
         self._index[record.key] = record
 
     def reload(self) -> None:
-        """Re-read the store file (e.g. after another process appended)."""
+        """Re-read the store file (e.g. after another process appended).
+
+        Closes the append handle first so the torn-tail repair in
+        :meth:`_load` never races a buffered append position.
+        """
+        self.close()
         self._index = {}
         self._load()
 

@@ -62,6 +62,7 @@ from repro.circuits.ternary import (
     eval_ternary,
     packed_plan,
 )
+from repro.telemetry import get_recorder
 from repro.testdata.cube import TestCube
 from repro.testdata.test_set import TestSet
 
@@ -139,6 +140,13 @@ class PodemAtpg:
         """
         assignment: Dict[str, int] = {}
         self._backtracks = 0
+        self._decisions = 0
+        # Per-fault engine telemetry (read by run() after the call); the
+        # D-frontier histogram needs an extra scan per objective, so it is
+        # collected only while a live recorder is installed.
+        self._frontier_sizes = [] if get_recorder().enabled else None
+        self._engine_events = 0
+        self._engine_undo_depth = 0
         if self._use_packed and self._use_events:
             engine = self._event_engine(fault)
             values, cares = engine.values, engine.cares
@@ -149,6 +157,8 @@ class PodemAtpg:
                 and (values[net] ^ (values[net] >> 1)) & 1
             }
             found = self._podem_events(fault, assignment, engine, diff)
+            self._engine_events = engine.events_processed
+            self._engine_undo_depth = engine.max_undo_depth
         elif self._use_packed:
             found = self._podem_packed(fault, assignment)
         else:
@@ -178,6 +188,7 @@ class PodemAtpg:
         """
         from repro.circuits.fault_sim import FaultSimulator
 
+        recorder = get_recorder()
         universe = list(faults if faults is not None else collapse_faults(self._netlist))
         simulator = FaultSimulator(self._netlist, universe)
         rng = random.Random(fill_seed)
@@ -187,59 +198,71 @@ class PodemAtpg:
         aborted: List[StuckAtFault] = []
         block = _PendingFills(self._plan, simulator.word_width) if batch_fills else None
 
-        for fault in universe:
-            if fault_dropping and not simulator.is_remaining(fault):
-                continue
-            if block is not None and fault_dropping and block.num_patterns:
-                word = simulator.detection_word(
-                    block.good_words, block.num_patterns, fault
-                )
-                if word:
-                    # A pending fill detects this fault: the per-pattern
-                    # path would have dropped it when that fill was
-                    # simulated, before this turn came up.
-                    simulator.drop_fault(fault)
-                    detected.append(fault)
+        with recorder.span(
+            "atpg.run", circuit=self._netlist.name, faults=len(universe)
+        ) as span:
+            for fault in universe:
+                if fault_dropping and not simulator.is_remaining(fault):
                     continue
-            assignment = self.generate_cube(fault)
-            if assignment is None:
-                if self._backtracks >= self._backtrack_limit:
-                    aborted.append(fault)
+                if block is not None and fault_dropping and block.num_patterns:
+                    word = simulator.detection_word(
+                        block.good_words, block.num_patterns, fault
+                    )
+                    if word:
+                        # A pending fill detects this fault: the per-pattern
+                        # path would have dropped it when that fill was
+                        # simulated, before this turn came up.
+                        simulator.drop_fault(fault)
+                        detected.append(fault)
+                        continue
+                assignment = self.generate_cube(fault)
+                if recorder.enabled:
+                    self._flush_fault_telemetry(recorder)
+                if assignment is None:
+                    if self._backtracks >= self._backtrack_limit:
+                        aborted.append(fault)
+                    else:
+                        redundant.append(fault)
+                    continue
+                cube = self._assignment_to_cube(assignment)
+                cubes.append(cube)
+                # Random-fill the cube and drop everything it detects.
+                filled = {
+                    net: assignment.get(net, rng.getrandbits(1))
+                    for net in self._netlist.inputs
+                }
+                if block is None:
+                    result = simulator.simulate_patterns([filled])
+                    detected.extend(result.detected_faults())
+                    if fault not in result.detected:
+                        # The fill can mask the target in rare cases; the
+                        # target is still detected by its own (unfilled)
+                        # cube.  Drop it too, so the simulator's coverage
+                        # agrees with ours.
+                        detected.append(fault)
+                        simulator.drop_fault(fault)
                 else:
-                    redundant.append(fault)
-                continue
-            cube = self._assignment_to_cube(assignment)
-            cubes.append(cube)
-            # Random-fill the cube and drop everything it detects.
-            filled = {
-                net: assignment.get(net, rng.getrandbits(1))
-                for net in self._netlist.inputs
-            }
-            if block is None:
-                result = simulator.simulate_patterns([filled])
-                detected.extend(result.detected_faults())
-                if fault not in result.detected:
-                    # The fill can mask the target in rare cases; the target
-                    # is still detected by its own (unfilled) cube.  Drop it
-                    # too, so the simulator's coverage agrees with ours.
+                    # The targeted fault is resolved here either way -- by
+                    # its own fill, or force-counted through its unfilled
+                    # cube -- so only the *other* faults wait for the block
+                    # simulation.
                     detected.append(fault)
                     simulator.drop_fault(fault)
-            else:
-                # The targeted fault is resolved here either way -- by its
-                # own fill, or force-counted through its unfilled cube -- so
-                # only the *other* faults wait for the block simulation.
-                detected.append(fault)
-                simulator.drop_fault(fault)
-                block.append(filled)
-                if block.num_patterns >= block.capacity:
-                    detected.extend(self._flush_fills(simulator, block))
-        if block is not None:
-            detected.extend(self._flush_fills(simulator, block))
-        detected_faults = sorted(set(detected))
-        assert detected_faults == simulator.detected_faults, (
-            "ATPG bookkeeping diverged from the fault simulator: "
-            f"{len(detected_faults)} vs {len(simulator.detected_faults)} detected"
-        )
+                    block.append(filled)
+                    if block.num_patterns >= block.capacity:
+                        detected.extend(self._flush_fills(simulator, block))
+            if block is not None:
+                detected.extend(self._flush_fills(simulator, block))
+            detected_faults = sorted(set(detected))
+            assert detected_faults == simulator.detected_faults, (
+                "ATPG bookkeeping diverged from the fault simulator: "
+                f"{len(detected_faults)} vs {len(simulator.detected_faults)} detected"
+            )
+            if recorder.enabled:
+                span.set("detected", len(detected_faults))
+                span.set("redundant", len(redundant))
+                span.set("aborted", len(aborted))
+                span.set("cubes", len(cubes))
         test_set = (
             TestSet(self._netlist.name, cubes)
             if cubes
@@ -255,6 +278,19 @@ class PodemAtpg:
             aborted=aborted,
             total_faults=len(universe),
         )
+
+    def _flush_fault_telemetry(self, recorder) -> None:
+        """Push the per-fault counters from :meth:`generate_cube` out."""
+        recorder.counter("atpg.faults_targeted")
+        recorder.counter("atpg.decisions", self._decisions)
+        recorder.counter("atpg.backtracks", self._backtracks)
+        if self._engine_events:
+            recorder.counter("atpg.events_processed", self._engine_events)
+        if self._engine_undo_depth:
+            recorder.observe("atpg.undo_depth", self._engine_undo_depth)
+        if self._frontier_sizes:
+            for size in self._frontier_sizes:
+                recorder.observe("atpg.d_frontier", size)
 
     def _flush_fills(
         self, simulator, block: "_PendingFills"
@@ -281,6 +317,7 @@ class PodemAtpg:
         pi, value = self._backtrace(objective, assignment)
         for candidate in (value, 1 - value):
             assignment[pi] = candidate
+            self._decisions += 1
             if self._podem(fault, assignment):
                 return True
             self._backtracks += 1
@@ -424,6 +461,7 @@ class PodemAtpg:
         pi, value = self._backtrace_packed(objective, cares)
         for candidate in (value, 1 - value):
             assignment[pi] = candidate
+            self._decisions += 1
             if self._podem_packed(fault, assignment):
                 return True
             self._backtracks += 1
@@ -612,6 +650,7 @@ class PodemAtpg:
         pi_index = self._plan.index[pi]
         for candidate in (value, 1 - value):
             assignment[pi] = candidate
+            self._decisions += 1
             token = engine.assign(pi_index, candidate)
             self._sync_diff(values, cares, engine.changed_indices(token), diff)
             if self._podem_events(fault, assignment, engine, diff):
@@ -698,6 +737,18 @@ class PodemAtpg:
         fault_index = plan.index[fault.net]
         if not cares[fault_index] & _GOOD:
             return (fault_index, 1 - fault.stuck_value)
+        if self._frontier_sizes is not None:
+            # Recorder installed: histogram the full D-frontier size.  The
+            # search loop below early-returns at the first frontier gate, so
+            # the complete count needs this extra (trace-only) scan.
+            self._frontier_sizes.append(
+                sum(
+                    1
+                    for output, _op, inputs, _inv in plan.rows
+                    if cares[output] & _BOTH != _BOTH
+                    and any(src in diff for src in inputs)
+                )
+            )
         for output, op, inputs, _inverting in plan.rows:
             if cares[output] & _BOTH == _BOTH:
                 continue

@@ -35,6 +35,7 @@ from repro.circuits.simulator import (
     pack_patterns,
     simulate_parallel,
 )
+from repro.telemetry import get_recorder
 
 
 @dataclass
@@ -80,6 +81,12 @@ class FaultSimulator:
         self._fanout: Optional[Dict[str, List[str]]] = None
         self._cones: Dict[str, List[PlanRow]] = {}
         self._plan_index: Optional[Dict[str, Tuple[int, PlanRow]]] = None
+        # Activation-screen telemetry: plain int increments in the hot path,
+        # flushed to the recorder as deltas once per block.
+        self._screen_calls = 0
+        self._screen_hits = 0
+        self._screen_flushed_calls = 0
+        self._screen_flushed_hits = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -170,6 +177,7 @@ class FaultSimulator:
         if drop:
             self._detected.update(result.detected)
             self._remaining.difference_update(result.detected)
+        self._flush_block_telemetry(num_patterns, len(result.detected))
         return result
 
     def detection_word(
@@ -203,7 +211,29 @@ class FaultSimulator:
         # The fault-free evaluation is computed once and shared by every
         # fault of the block (each fault only overlays its fanout cone).
         good = simulate_parallel(self._netlist, words, num_patterns)
-        return self._detect_block(good, num_patterns)
+        detected = self._detect_block(good, num_patterns)
+        self._flush_block_telemetry(num_patterns, len(detected))
+        return detected
+
+    def _flush_block_telemetry(self, num_patterns: int, dropped: int) -> None:
+        """Per-block counter flush (no-op unless a recorder is installed)."""
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        recorder.counter("faultsim.blocks")
+        recorder.counter("faultsim.patterns", num_patterns)
+        recorder.observe("faultsim.dropped_per_block", dropped)
+        calls = self._screen_calls - self._screen_flushed_calls
+        if calls:
+            # Hit/miss pair (not hits/calls) so the registry's ``*_hits`` /
+            # ``*_misses`` pairing derives the activation-screen rate.
+            hits = self._screen_hits - self._screen_flushed_hits
+            if hits:
+                recorder.counter("faultsim.screen_hits", hits)
+            if calls - hits:
+                recorder.counter("faultsim.screen_misses", calls - hits)
+            self._screen_flushed_calls = self._screen_calls
+            self._screen_flushed_hits = self._screen_hits
 
     def _detect_block(
         self, good: Dict[str, int], num_patterns: int
@@ -253,9 +283,11 @@ class FaultSimulator:
     def _cone_diff(self, good: Dict[str, int], mask: int, fault: StuckAtFault) -> int:
         """Output difference word of one fault, via its fanout cone only."""
         stuck_word = mask if fault.stuck_value else 0
+        self._screen_calls += 1
         if good[fault.net] == stuck_word:
             # The site never deviates from the stuck value in this block, so
             # the fault cannot be activated by any of its patterns.
+            self._screen_hits += 1
             return 0
         changed: Dict[str, int] = {fault.net: stuck_word}
         changed_get = changed.get

@@ -306,6 +306,8 @@ class TernaryEventEngine:
         "force_mask",
         "force_value",
         "_undo",
+        "events_processed",
+        "max_undo_depth",
     )
 
     def __init__(
@@ -323,6 +325,11 @@ class TernaryEventEngine:
         self.force_mask = force_mask
         self.force_value = force_value
         self._undo: List[Tuple[int, int, int]] = []
+        # Lifetime telemetry: rows popped off the event queue and the high
+        # watermark of the undo log.  Both are maintained with one integer
+        # update per assign/propagate, cheap enough to keep unconditional.
+        self.events_processed = 0
+        self.max_undo_depth = 0
         values = [0] * plan.num_nets
         cares = [0] * plan.num_nets
         if input_values:
@@ -383,6 +390,8 @@ class TernaryEventEngine:
         values[index] = value
         cares[index] = care
         self._propagate(self.plan.reader_rows[index])
+        if len(self._undo) > self.max_undo_depth:
+            self.max_undo_depth = len(self._undo)
         return token
 
     def changed_indices(self, token: int) -> List[int]:
@@ -468,6 +477,9 @@ class TernaryEventEngine:
                 if reader not in queued:
                     queued.add(reader)
                     push(heap, reader)
+        # Every queued row is popped exactly once, so the queue's final size
+        # *is* the processed-event count -- no per-pop increment needed.
+        self.events_processed += len(queued)
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Command-line interface of the State Skip LFSR flow.
 
-Four sub-commands cover the day-to-day uses of the library without writing
+The sub-commands cover the day-to-day uses of the library without writing
 Python:
 
 ``compress``
@@ -33,9 +33,22 @@ Python:
 ``bench``
     Benchmark the hot kernels (encoding solvability scan, parallel-pattern
     fault simulation, PODEM on the packed ternary core, the event-driven
-    PODEM increment, warm-sweep embedding matching, context encode-reuse),
-    write the ``BENCH_*.json`` reports, and optionally fail on a
-    regression against a committed baseline directory.
+    PODEM increment, warm-sweep embedding matching, context encode-reuse,
+    the disabled-telemetry overhead gate), write the ``BENCH_*.json``
+    reports, and optionally fail on a regression against a committed
+    baseline directory.
+
+``stats``
+    Aggregate the telemetry persisted by ``--trace`` runs (and the result
+    store itself) from a store directory: span wall-time rollup, counters,
+    cache hit-rates and histogram digests across every recorded run.
+
+``compress``, ``campaign`` and ``atpg`` accept ``--trace``: the run is
+recorded by the telemetry subsystem (hierarchical spans, metrics, event
+log), a summary table is printed, and a Chrome-trace JSON (loadable in
+Perfetto / ``chrome://tracing``) plus a JSONL event log are written --
+next to the campaign results for ``campaign``, under ``--trace-dir``
+otherwise.
 
 Examples
 --------
@@ -49,6 +62,9 @@ Examples
         --windows 50 100 --segments 4 10 --speedups 3 6 12 24 \\
         --jobs 4 --store results/campaign --resume --report
     python -m repro campaign --spec fig4.toml --jobs 8 --resume
+    python -m repro campaign --profiles s13207 --jobs 4 --trace \\
+        --store results/campaign
+    python -m repro stats results/campaign
     python -m repro atpg --bench my_core.bench --output my_core.tests
     python -m repro bench --quick --out results --baseline results
 """
@@ -93,6 +109,35 @@ def _config_from_args(args: argparse.Namespace, test_set: TestSet) -> Compressio
     )
 
 
+def _add_trace_options(parser: argparse.ArgumentParser,
+                       trace_dir: Optional[str] = None) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace", action="store_true",
+        help="record telemetry (spans, counters, histograms, events); "
+             "prints a summary table and writes a Chrome-trace JSON plus "
+             "a JSONL event log",
+    )
+    if trace_dir is not None:
+        group.add_argument(
+            "--trace-dir", default=trace_dir, metavar="DIR",
+            help="directory for the telemetry files written by --trace "
+                 f"(default {trace_dir})",
+        )
+
+
+def _emit_telemetry(recorder, directory, title: str) -> None:
+    """Print the summary table and persist the trace + event log."""
+    from repro.telemetry import environment_meta, persist_recorder, summary_table
+
+    print()
+    print(summary_table(recorder, title=title))
+    if directory:
+        paths = persist_recorder(directory, recorder, meta=environment_meta())
+        print(f"\ntelemetry written: {paths['trace']}")
+        print(f"                   {paths['events']}")
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     source = parser.add_argument_group("test-set source")
     source.add_argument("--tests", help="path to a 0/1/X cube file (one cube per line)")
@@ -111,22 +156,50 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
+    if args.trace:
+        from repro.telemetry import Recorder, use_recorder
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            status = _run_compress(args)
+        _emit_telemetry(recorder, args.trace_dir, "compress telemetry")
+        return status
+    return _run_compress(args)
+
+
+def _run_compress(args: argparse.Namespace) -> int:
     test_set = _load_test_set(args)
     config = _config_from_args(args, test_set)
+    context = None
+    recorder = None
+    if args.trace:
+        from repro.telemetry import get_recorder
+
+        recorder = get_recorder()
+    if recorder is not None and recorder.enabled:
+        # Bind the pipeline's context stats to the recorder registry so
+        # cache counters and stage timings land in the telemetry summary.
+        from repro.context import CompressionContext, ContextStats
+
+        context = CompressionContext(stats=ContextStats(registry=recorder.metrics))
     if args.profile_stats:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        report = compress(test_set, config, verify=True, simulate=args.simulate)
+        report = compress(
+            test_set, config, verify=True, simulate=args.simulate, context=context
+        )
         profiler.disable()
         profiler.dump_stats(args.profile_stats)
         stats = pstats.Stats(profiler).sort_stats("cumulative")
         print(f"profile written to {args.profile_stats} (top 10 by cumulative):")
         stats.print_stats(10)
     else:
-        report = compress(test_set, config, verify=True, simulate=args.simulate)
+        report = compress(
+            test_set, config, verify=True, simulate=args.simulate, context=context
+        )
     rows = [report.summary()]
     print(format_table(rows, title="State Skip LFSR compression"))
     print(
@@ -226,6 +299,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign.runner import CampaignRunner
     from repro.campaign.store import ResultStore
 
+    recorder = None
+    if args.trace:
+        from repro.telemetry import Recorder
+
+        recorder = Recorder()
     try:
         spec = _build_campaign_spec(args)
         store = ResultStore(args.store)
@@ -235,6 +313,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             timeout=args.timeout,
             resume=args.resume,
+            recorder=recorder,
         )
     except (OSError, ValueError, RuntimeError, KeyError) as error:
         raise SystemExit(f"campaign setup failed: {error}")
@@ -253,6 +332,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # parent-side failures (unreadable/malformed source files, spec
         # expansion) -- per-job errors are captured in the outcomes instead
         raise SystemExit(f"campaign failed: {error}")
+    finally:
+        store.close()
     print(
         f"\ncampaign {result.campaign}: {result.num_jobs} jobs -- "
         f"{result.num_computed} computed, {result.num_cached} cached, "
@@ -292,7 +373,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # report this run's jobs only -- a shared store directory may hold
         # results of other campaigns
         print()
-        print(campaign_report(result.rows(), title=result.campaign))
+        print(campaign_report(result.rows(), title=result.campaign,
+                              cache_stats=cache))
+    if recorder is not None:
+        _emit_telemetry(recorder, store.root,
+                        f"campaign telemetry ({result.campaign})")
     return 1 if result.num_failed else 0
 
 
@@ -308,13 +393,27 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         netlist = random_netlist(
             "generated", num_inputs=args.inputs, num_gates=args.gates, seed=args.seed
         )
-    result = generate_test_set_for_netlist(
-        netlist,
-        fill_seed=args.seed,
-        use_packed=not args.reference,
-        use_events=not args.no_events,
-        batch_fills=not args.no_events,
-    )
+    recorder = None
+    if args.trace:
+        from repro.telemetry import Recorder, use_recorder
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = generate_test_set_for_netlist(
+                netlist,
+                fill_seed=args.seed,
+                use_packed=not args.reference,
+                use_events=not args.no_events,
+                batch_fills=not args.no_events,
+            )
+    else:
+        result = generate_test_set_for_netlist(
+            netlist,
+            fill_seed=args.seed,
+            use_packed=not args.reference,
+            use_events=not args.no_events,
+            batch_fills=not args.no_events,
+        )
     stats = result.test_set.stats()
     print(
         f"{netlist.name}: {netlist.num_gates} gates, "
@@ -325,6 +424,9 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text(result.test_set.to_text())
         print(f"wrote {args.output}")
+    if recorder is not None:
+        _emit_telemetry(recorder, args.trace_dir,
+                        f"atpg telemetry ({netlist.name})")
     return 0
 
 
@@ -361,8 +463,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.store:
         from repro.campaign.store import ResultStore
 
-        store = ResultStore(args.store)
-        written = record_in_store(store, reports)
+        with ResultStore(args.store) as store:
+            written = record_in_store(store, reports)
         print(f"recorded {written} bench results in {store.path}")
     if args.baseline:
         regressions = []
@@ -391,6 +493,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    from types import SimpleNamespace
+
+    from repro.campaign.report import cache_hit_rate_lines
+    from repro.telemetry import (
+        MetricsRegistry,
+        read_event_log,
+        summary_table,
+    )
+
+    root = Path(args.store)
+    telemetry_dir = root / "telemetry"
+    trace_files = sorted(telemetry_dir.glob("*.trace.json"))
+    event_files = sorted(telemetry_dir.glob("*.events.jsonl"))
+
+    registry = MetricsRegistry()
+    run_ids = []
+    for trace_path in trace_files:
+        try:
+            other = json.loads(trace_path.read_text(encoding="utf-8")).get(
+                "otherData", {}
+            )
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping unreadable trace {trace_path}: {error}")
+            continue
+        registry.merge(other.get("metrics", {}))
+        run_ids.append(str(other.get("run_id", trace_path.stem)))
+
+    spans = []
+    num_events = 0
+    for events_path in event_files:
+        for record in read_event_log(events_path):
+            if record.get("kind") == "span":
+                spans.append(record.get("payload") or {})
+            else:
+                num_events += 1
+
+    sections = []
+    results_path = root / "results.jsonl"
+    if results_path.exists():
+        from repro.campaign.store import ResultStore
+
+        with ResultStore(root) as store:
+            records = store.records()
+        num_ok = sum(1 for record in records if record.ok)
+        cache_totals: dict = {}
+        elapsed = 0.0
+        for record in records:
+            elapsed += record.elapsed_s
+            for name, value in (record.cache_stats or {}).items():
+                cache_totals[name] = cache_totals.get(name, 0) + value
+        sections.append(
+            f"result store: {len(records)} records ({num_ok} ok, "
+            f"{len(records) - num_ok} failed), "
+            f"total compute {elapsed:.2f}s"
+        )
+        rate_lines = cache_hit_rate_lines(cache_totals)
+        if rate_lines:
+            sections.append("stored cache hit-rates:")
+            sections.extend(rate_lines)
+
+    if not trace_files and not event_files:
+        if not sections:
+            raise SystemExit(
+                f"no telemetry or results under {root} "
+                f"(run a command with --trace first)"
+            )
+        print("\n".join(sections))
+        print(f"\nno telemetry under {telemetry_dir} "
+              f"(run a command with --trace to record some)")
+        return 0
+
+    if sections:
+        print("\n".join(sections))
+        print()
+    # summary_table only reads .spans and .metrics -- an aggregate view
+    # over every persisted run is just those two merged.
+    aggregate = SimpleNamespace(spans=spans, metrics=registry, run_id="aggregate")
+    title = (f"telemetry for {root} -- {len(run_ids)} run(s), "
+             f"{len(spans)} spans, {num_events} events")
+    print(summary_table(aggregate, title=title))
+    if run_ids:
+        print(f"\nruns: {', '.join(sorted(run_ids))}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="State Skip LFSR test set embedding"
@@ -407,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-stats", metavar="PATH",
         help="run under cProfile and dump binary pstats output to PATH",
     )
+    _add_trace_options(compress_parser, trace_dir="results")
     compress_parser.set_defaults(func=_cmd_compress)
 
     sweep_parser = sub.add_parser("sweep", help="sweep k and S (Fig. 4 style)")
@@ -456,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="skip jobs already completed in the store")
     execution.add_argument("--report", action="store_true",
                            help="print the aggregated improvement grids")
+    # no --trace-dir: campaign telemetry lands next to the result store,
+    # where ``repro stats`` looks for it
+    _add_trace_options(campaign_parser)
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     atpg_parser = sub.add_parser("atpg", help="run PODEM ATPG on a netlist")
@@ -478,7 +671,20 @@ def build_parser() -> argparse.ArgumentParser:
              "netlist and fills are simulated one by one (identical "
              "cubes, for cross-checks)",
     )
+    _add_trace_options(atpg_parser, trace_dir="results")
     atpg_parser.set_defaults(func=_cmd_atpg)
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="aggregate persisted telemetry (and stored results) "
+             "from a store directory",
+    )
+    stats_parser.add_argument(
+        "store",
+        help="store directory holding results.jsonl and/or telemetry/ "
+             "files written by --trace runs",
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
 
     bench_parser = sub.add_parser(
         "bench", help="benchmark the hot kernels and write BENCH_*.json"

@@ -31,11 +31,12 @@ bounded LRU-style so long-lived processes stay flat in memory.  A context is
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.encoding.substrate import EncoderSubstrate, SubstrateKey
 from repro.lru import LRUCache
+from repro.telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.encoding.results import EncodingResult
@@ -60,25 +61,54 @@ class _EncodingEntry:
 
 
 
-@dataclass
 class ContextStats:
-    """Cache hit/miss counters and per-stage wall-time accumulators."""
+    """Cache hit/miss counters and per-stage wall-time accumulators.
 
-    counters: Dict[str, int] = field(default_factory=dict)
-    timings: Dict[str, float] = field(default_factory=dict)
+    Since the telemetry subsystem landed this is a compatibility façade
+    over a :class:`~repro.telemetry.metrics.MetricsRegistry`: counters are
+    registry counters, timings are registry counters named ``<stage>_s``
+    (the suffix :meth:`snapshot` always used on the wire).  The public
+    surface -- ``count`` / ``add_timing`` / ``counters`` / ``timings`` /
+    ``snapshot`` / ``delta`` -- is unchanged, but a context's stats can now
+    be bound to a recorder's registry (``ContextStats(registry=...)``) so
+    cache activity flows into campaign telemetry with no extra plumbing.
+    """
+
+    __slots__ = ("registry",)
+
+    _TIMING_SUFFIX = "_s"
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def count(self, name: str, delta: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + delta
+        self.registry.inc(name, delta)
 
     def add_timing(self, stage: str, seconds: float) -> None:
-        self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+        self.registry.inc(f"{stage}{self._TIMING_SUFFIX}", seconds)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Copy of the pure counters (timing accumulators excluded)."""
+        return {
+            name: value
+            for name, value in self.registry.counters.items()
+            if not name.endswith(self._TIMING_SUFFIX)
+        }
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Copy of the per-stage wall-time totals, keyed by stage name."""
+        suffix = len(self._TIMING_SUFFIX)
+        return {
+            name[:-suffix]: value
+            for name, value in self.registry.counters.items()
+            if name.endswith(self._TIMING_SUFFIX)
+        }
 
     def snapshot(self) -> Dict[str, float]:
         """Flat copy of every counter and timing (timings as ``<stage>_s``)."""
-        flat: Dict[str, float] = dict(self.counters)
-        for stage, seconds in self.timings.items():
-            flat[f"{stage}_s"] = seconds
-        return flat
+        return self.registry.snapshot_counters()
 
     @staticmethod
     def delta(
@@ -105,6 +135,10 @@ class CompressionContext:
         this producing bit-identical reports.
     max_substrates / max_encodings / max_windows:
         LRU bounds of the three caches.
+    stats:
+        An externally owned :class:`ContextStats` to record into --
+        campaign workers pass one bound to their recorder's metrics
+        registry so cache counters stream back with job telemetry.
 
     The three caches, from cheapest to most expensive to rebuild:
 
@@ -128,9 +162,10 @@ class CompressionContext:
         max_substrates: int = 8,
         max_encodings: int = 16,
         max_windows: int = 16,
+        stats: Optional[ContextStats] = None,
     ):
         self.caching = caching
-        self.stats = ContextStats()
+        self.stats = stats if stats is not None else ContextStats()
         self._substrates = LRUCache(max_substrates)
         self._encodings = LRUCache(max_encodings)
         self._windows = LRUCache(max_windows)

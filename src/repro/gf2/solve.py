@@ -33,6 +33,40 @@ from repro.gf2.bitvec import BitVector
 #: the big-int loop (tuned with ``repro bench``).
 _BATCH_MIN_ROWS = 64
 
+
+class _SolverStats:
+    """Process-wide solver activity counters (telemetry feed).
+
+    Solvers are created per seed deep inside the encoder, so per-instance
+    counters would never surface; a module-level accumulator incremented in
+    the leaf methods only (``try_augmented``, the packed batch loop,
+    ``commit``) lets the pipeline snapshot/delta around an encode call and
+    attribute the work without threading a registry through the encoder.
+    The increments are single attribute adds -- negligible next to the row
+    reductions they count.
+    """
+
+    __slots__ = ("trials", "batches", "commits", "pivots")
+
+    def __init__(self):
+        self.trials = 0  # candidate systems evaluated
+        self.batches = 0  # vectorized packed-batch passes
+        self.commits = 0  # committed trials
+        self.pivots = 0  # pivot rows inserted (rank growth)
+
+
+SOLVER_STATS = _SolverStats()
+
+
+def solver_stats_snapshot() -> Dict[str, int]:
+    """Flat copy of the process-wide solver counters."""
+    return {
+        "solver_trials": SOLVER_STATS.trials,
+        "solver_batches": SOLVER_STATS.batches,
+        "solver_commits": SOLVER_STATS.commits,
+        "solver_pivots": SOLVER_STATS.pivots,
+    }
+
 def _pack_ints_to_words(rows: Sequence[int], num_words: int) -> np.ndarray:
     """Pack big-int rows into a ``(len(rows), num_words)`` uint64 array."""
     if num_words == 1:
@@ -238,6 +272,7 @@ class IncrementalSolver:
         only pays for the *newly* committed pivots -- this is what makes the
         encoder's per-epoch residual cache incremental.
         """
+        SOLVER_STATS.trials += 1
         extra: Dict[int, int] = {}
         rhs_bit = self._rhs_bit
         for aug in aug_rows:
@@ -320,6 +355,8 @@ class IncrementalSolver:
                 self.try_augmented(ints[base : base + rows_each])
                 for base in range(0, total_rows, rows_each)
             ]
+        SOLVER_STATS.batches += 1
+        SOLVER_STATS.trials += num_candidates
         words = words.copy()
 
         # Pass 1: eliminate every committed pivot column.  The basis is kept
@@ -410,7 +447,9 @@ class IncrementalSolver:
                     self._pivots[other] = other_row ^ row
             self._pivots[pivot] = row
             self._pivot_mask |= pivot_bit
+            SOLVER_STATS.pivots += 1
             changed = True
+        SOLVER_STATS.commits += 1
         if changed:
             self._epoch += 1
 

@@ -49,7 +49,9 @@ from repro.decompressor.hardware import (
 from repro.encoding.encoder import ReseedingEncoder
 from repro.encoding.results import EncodingResult
 from repro.encoding.window import EncodingError, verify_encoding
+from repro.gf2.solve import solver_stats_snapshot
 from repro.skip.reduction import ReductionConfig, ReductionResult, SequenceReducer
+from repro.telemetry import get_recorder
 from repro.testdata.literature import tsl_improvement
 from repro.testdata.profiles import CircuitProfile
 from repro.testdata.synthetic import generate_test_set
@@ -238,36 +240,49 @@ def encode(
     """
     config = config or CompressionConfig()
     context = context or CompressionContext()
+    recorder = get_recorder()
     start = time.perf_counter()
-    lfsr_size = config.lfsr_size
-    if lfsr_size is None:
-        lfsr_size = test_set.max_specified() + 8
-    resolved = (
-        config
-        if config.lfsr_size == lfsr_size
-        else config.with_updates(lfsr_size=lfsr_size)
-    )
-    fingerprint = test_set.fingerprint()
-    encode_key = resolved.encode_cache_key()
-    entry = context.get_encoding(fingerprint, encode_key)
-    if entry is None:
-        substrate, encoding = _encode_with_retries(test_set, resolved, context)
-        entry = context.put_encoding(
-            fingerprint, encode_key, substrate, encoding, verified=False
+    solver_before = solver_stats_snapshot()
+    with recorder.span("stage.encode", circuit=test_set.name) as span:
+        lfsr_size = config.lfsr_size
+        if lfsr_size is None:
+            lfsr_size = test_set.max_specified() + 8
+        resolved = (
+            config
+            if config.lfsr_size == lfsr_size
+            else config.with_updates(lfsr_size=lfsr_size)
         )
-    if verify and not entry.verified:
-        windows = context.expanded_windows(
-            entry.substrate, [record.seed for record in entry.encoding.seeds]
-        )
-        violations = verify_encoding(
-            entry.encoding, test_set, entry.substrate.equations, windows=windows
-        )
-        if violations:
-            raise RuntimeError(
-                f"encoding verification failed for {len(violations)} embeddings; "
-                f"first: {violations[0]}"
+        fingerprint = test_set.fingerprint()
+        encode_key = resolved.encode_cache_key()
+        entry = context.get_encoding(fingerprint, encode_key)
+        cached = entry is not None
+        if entry is None:
+            substrate, encoding = _encode_with_retries(test_set, resolved, context)
+            entry = context.put_encoding(
+                fingerprint, encode_key, substrate, encoding, verified=False
             )
-        entry.verified = True
+        if verify and not entry.verified:
+            windows = context.expanded_windows(
+                entry.substrate, [record.seed for record in entry.encoding.seeds]
+            )
+            violations = verify_encoding(
+                entry.encoding, test_set, entry.substrate.equations, windows=windows
+            )
+            if violations:
+                raise RuntimeError(
+                    f"encoding verification failed for {len(violations)} "
+                    f"embeddings; first: {violations[0]}"
+                )
+            entry.verified = True
+        if recorder.enabled:
+            span.set("cached", cached)
+            span.set("num_seeds", entry.encoding.num_seeds)
+    # Attribute the GF(2) solver work done inside this call (the solvers
+    # themselves live per seed, out of reach of the context).
+    for name, after_value in solver_stats_snapshot().items():
+        work = after_value - solver_before[name]
+        if work:
+            context.stats.count(name, work)
     context.stats.add_timing("encode", time.perf_counter() - start)
     return StagedEncoding(
         test_set=test_set,
@@ -297,21 +312,27 @@ def reduce(
     config = config or encoded.config
     context = context or encoded.context
     start = time.perf_counter()
-    reducer = SequenceReducer(
-        encoded.substrate.equations,
-        ReductionConfig(
-            segment_size=config.segment_size,
-            speedup=config.speedup,
-            alignment=config.alignment,
-            force_first_segment_useful=config.force_first_segment_useful,
-        ),
-    )
-    windows_packed = context.packed_windows(
-        encoded.substrate, [record.seed for record in encoded.encoding.seeds]
-    )
-    result = reducer.reduce(
-        encoded.encoding, encoded.test_set, windows_packed=windows_packed
-    )
+    with get_recorder().span(
+        "stage.reduce",
+        circuit=encoded.test_set.name,
+        segment_size=config.segment_size,
+        speedup=config.speedup,
+    ):
+        reducer = SequenceReducer(
+            encoded.substrate.equations,
+            ReductionConfig(
+                segment_size=config.segment_size,
+                speedup=config.speedup,
+                alignment=config.alignment,
+                force_first_segment_useful=config.force_first_segment_useful,
+            ),
+        )
+        windows_packed = context.packed_windows(
+            encoded.substrate, [record.seed for record in encoded.encoding.seeds]
+        )
+        result = reducer.reduce(
+            encoded.encoding, encoded.test_set, windows_packed=windows_packed
+        )
     context.stats.add_timing("reduce", time.perf_counter() - start)
     return result
 
@@ -325,16 +346,17 @@ def hardware(
     """Stage 3: gate-equivalent cost of the decompressor for one reduction."""
     context = context or encoded.context
     start = time.perf_counter()
-    report = decompressor_cost(
-        transition=encoded.substrate.lfsr.transition,
-        speedup=reduction.config.speedup,
-        phase_shifter=encoded.substrate.phase_shifter,
-        chain_length=encoded.substrate.architecture.chain_length,
-        segment_size=reduction.config.segment_size,
-        segments_per_window=reduction.num_segments_per_window,
-        useful_segments_per_seed=[s.useful_segments for s in reduction.schedules],
-        model=cost_model,
-    )
+    with get_recorder().span("stage.hardware", circuit=encoded.test_set.name):
+        report = decompressor_cost(
+            transition=encoded.substrate.lfsr.transition,
+            speedup=reduction.config.speedup,
+            phase_shifter=encoded.substrate.phase_shifter,
+            chain_length=encoded.substrate.architecture.chain_length,
+            segment_size=reduction.config.segment_size,
+            segments_per_window=reduction.num_segments_per_window,
+            useful_segments_per_seed=[s.useful_segments for s in reduction.schedules],
+            model=cost_model,
+        )
     context.stats.add_timing("hardware", time.perf_counter() - start)
     return report
 
@@ -353,18 +375,19 @@ def simulate(
     """
     context = context or encoded.context
     start = time.perf_counter()
-    outcome = simulate_decompression(
-        encoded.encoding,
-        reduction,
-        encoded.substrate.lfsr.transition,
-        encoded.substrate.phase_shifter,
-        encoded.substrate.architecture,
-    )
-    uncovered = outcome.uncovered_cubes(encoded.test_set)
-    if uncovered:
-        raise RuntimeError(
-            f"decompressor simulation left {len(uncovered)} cubes unapplied"
+    with get_recorder().span("stage.simulate", circuit=encoded.test_set.name):
+        outcome = simulate_decompression(
+            encoded.encoding,
+            reduction,
+            encoded.substrate.lfsr.transition,
+            encoded.substrate.phase_shifter,
+            encoded.substrate.architecture,
         )
+        uncovered = outcome.uncovered_cubes(encoded.test_set)
+        if uncovered:
+            raise RuntimeError(
+                f"decompressor simulation left {len(uncovered)} cubes unapplied"
+            )
     context.stats.add_timing("simulate", time.perf_counter() - start)
     return outcome
 

@@ -1,0 +1,74 @@
+"""Structured JSONL event log.
+
+One schema for every line: ``{"ts", "run_id", "span_id", "kind", "payload"}``.
+Span records are written through the same file with ``kind == "span"`` and the
+span dict as payload, so a single ``<run_id>.events.jsonl`` next to the
+campaign results replays the whole run: timing tree and discrete events alike.
+Reads tolerate a torn trailing line (same contract as the result store).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List
+
+__all__ = ["write_event_log", "read_event_log", "recorder_event_lines"]
+
+EVENT_FIELDS = ("ts", "run_id", "span_id", "kind", "payload")
+
+
+def _normalise(record: Dict[str, Any]) -> Dict[str, Any]:
+    return {field: record.get(field) for field in EVENT_FIELDS}
+
+
+def recorder_event_lines(recorder: Any) -> List[Dict[str, Any]]:
+    """Flatten a recorder into schema-conformant event records.
+
+    Events come through as-is; spans are re-framed as ``kind="span"`` events
+    timestamped at span start, ordered by timestamp so the log reads
+    chronologically.
+    """
+    lines: List[Dict[str, Any]] = [_normalise(event) for event in recorder.events]
+    for span in recorder.spans:
+        lines.append(
+            {
+                "ts": span.get("start_ts"),
+                "run_id": recorder.run_id,
+                "span_id": span.get("span_id"),
+                "kind": "span",
+                "payload": span,
+            }
+        )
+    lines.sort(key=lambda record: record.get("ts") or 0.0)
+    return lines
+
+
+def write_event_log(path: Path, records: Iterable[Dict[str, Any]]) -> int:
+    """Write records as JSONL; returns the number of lines written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(_normalise(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_event_log(path: Path) -> Iterator[Dict[str, Any]]:
+    """Yield event records, skipping a torn (unparseable) trailing line."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                return  # torn tail from an interrupted writer
+            raise

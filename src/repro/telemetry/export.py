@@ -1,0 +1,200 @@
+"""Exporters: Chrome trace-event JSON and human summary tables.
+
+``chrome_trace`` renders a recorder's spans as complete ("ph": "X") trace
+events -- the format ``chrome://tracing`` and Perfetto load directly.  Spans
+carry a wall-clock ``start_ts`` (epoch seconds) precisely so spans from
+campaign worker processes land on one shared timeline; each worker pid
+becomes its own track.
+
+``summary_table`` is the terminal-facing view: per-span-name wall totals,
+the headline counters grouped by subsystem prefix, cache hit-rates and
+histogram digests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from .events import recorder_event_lines, write_event_log
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "summary_table",
+    "persist_recorder",
+]
+
+
+def chrome_trace(recorder: Any, meta: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+    """Chrome trace-event JSON (dict form) for a recorder's spans."""
+    events: List[Dict[str, Any]] = []
+    pids = sorted({span.get("pid", 0) for span in recorder.spans})
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for span in recorder.spans:
+        args = dict(span.get("attrs") or {})
+        args["span_id"] = span.get("span_id")
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span.get("name", "?"),
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(span.get("start_ts", 0.0)) * 1e6,
+                "dur": max(float(span.get("duration_s", 0.0)), 0.0) * 1e6,
+                "pid": span.get("pid", 0),
+                "tid": span.get("tid", 0),
+                "args": args,
+            }
+        )
+    trace: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"run_id": recorder.run_id},
+    }
+    if meta:
+        trace["otherData"].update(meta)
+    return trace
+
+
+def write_chrome_trace(path: Path, recorder: Any,
+                       meta: Optional[Dict[str, Any]] = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(recorder, meta)), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Human summary
+# ----------------------------------------------------------------------
+def _format_rows(rows: List[List[str]], indent: str = "  ") -> List[str]:
+    if not rows:
+        return []
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    return [
+        indent + "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+
+
+def span_rollup(spans: Iterable[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Per-name aggregate: call count, total wall, max wall."""
+    rollup: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        name = span.get("name", "?")
+        entry = rollup.setdefault(name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        entry["count"] += 1
+        duration = float(span.get("duration_s", 0.0))
+        entry["total_s"] += duration
+        if duration > entry["max_s"]:
+            entry["max_s"] = duration
+    return rollup
+
+
+def summary_table(recorder: Any, title: str = "telemetry summary") -> str:
+    """Render spans, counters, hit-rates and histograms as one text block."""
+    lines: List[str] = [title, "=" * len(title)]
+
+    rollup = span_rollup(recorder.spans)
+    if rollup:
+        lines.append("")
+        lines.append("spans (wall time by name):")
+        rows = [["name", "count", "total", "max"]]
+        for name in sorted(rollup, key=lambda n: -rollup[n]["total_s"]):
+            entry = rollup[name]
+            rows.append(
+                [
+                    name,
+                    f"{int(entry['count'])}",
+                    f"{entry['total_s'] * 1e3:.2f}ms",
+                    f"{entry['max_s'] * 1e3:.2f}ms",
+                ]
+            )
+        lines.extend(_format_rows(rows))
+
+    metrics: MetricsRegistry = recorder.metrics
+    rates = metrics.hit_rates()
+    if rates:
+        lines.append("")
+        lines.append("cache hit-rates:")
+        rows = [["cache", "hits", "total", "rate"]]
+        for kind, (hits, total, rate) in rates.items():
+            rows.append([kind, f"{hits:g}", f"{total:g}", f"{rate * 100:.1f}%"])
+        lines.extend(_format_rows(rows))
+
+    counters = {
+        name: value
+        for name, value in sorted(metrics.counters.items())
+        if not name.endswith("_hits") and not name.endswith("_misses")
+    }
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        rows = [["name", "value"]]
+        for name, value in counters.items():
+            if name.endswith("_s"):
+                rows.append([name, f"{value:.4f}"])
+            else:
+                rows.append([name, f"{value:g}"])
+        lines.extend(_format_rows(rows))
+
+    if metrics.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        rows = [["name", "value"]]
+        for name, value in sorted(metrics.gauges.items()):
+            rows.append([name, f"{value:g}"])
+        lines.extend(_format_rows(rows))
+
+    if metrics.histograms:
+        lines.append("")
+        lines.append("histograms (log2 buckets):")
+        rows = [["name", "count", "mean", "p50", "p95", "max"]]
+        for name in sorted(metrics.histograms):
+            histogram: Histogram = metrics.histograms[name]
+            rows.append(
+                [
+                    name,
+                    f"{histogram.count}",
+                    f"{histogram.mean:.2f}",
+                    f"{histogram.quantile(0.5):g}",
+                    f"{histogram.quantile(0.95):g}",
+                    f"{histogram.max:g}" if histogram.max is not None else "-",
+                ]
+            )
+        lines.extend(_format_rows(rows))
+
+    return "\n".join(lines)
+
+
+def persist_recorder(directory: Path, recorder: Any,
+                     meta: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Path]:
+    """Write ``telemetry/<run_id>.events.jsonl`` + ``.trace.json`` under ``directory``.
+
+    Also drops the metrics registry snapshot into the trace's ``otherData``
+    so ``repro stats`` can aggregate counters without replaying events.
+    """
+    directory = Path(directory) / "telemetry"
+    directory.mkdir(parents=True, exist_ok=True)
+    events_path = directory / f"{recorder.run_id}.events.jsonl"
+    trace_path = directory / f"{recorder.run_id}.trace.json"
+    write_event_log(events_path, recorder_event_lines(recorder))
+    full_meta = dict(meta or {})
+    full_meta["metrics"] = recorder.metrics.snapshot_full()
+    write_chrome_trace(trace_path, recorder, full_meta)
+    return {"events": events_path, "trace": trace_path}

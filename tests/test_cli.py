@@ -209,12 +209,16 @@ class TestBenchCommand:
         atpg_events = json.loads((out_dir / "BENCH_atpg-events.json").read_text())
         embedding = json.loads((out_dir / "BENCH_embedding.json").read_text())
         context = json.loads((out_dir / "BENCH_context.json").read_text())
+        telemetry = json.loads(
+            (out_dir / "BENCH_telemetry-overhead.json").read_text()
+        )
         assert encoding["kernel"] == "encoding" and encoding["cases"]
         assert faultsim["kernel"] == "faultsim" and faultsim["cases"]
         assert atpg["kernel"] == "atpg" and atpg["cases"]
         assert atpg_events["kernel"] == "atpg-events" and atpg_events["cases"]
         assert embedding["kernel"] == "embedding" and embedding["cases"]
         assert context["kernel"] == "context" and context["cases"]
+        assert telemetry["kernel"] == "telemetry-overhead" and telemetry["cases"]
         all_cases = (
             encoding["cases"]
             + faultsim["cases"]
@@ -222,12 +226,15 @@ class TestBenchCommand:
             + atpg_events["cases"]
             + embedding["cases"]
             + context["cases"]
+            + telemetry["cases"]
         )
         for case in all_cases:
             assert case["verified"] is True
             assert case["wall_s"] > 0
             assert case["throughput"] > 0
         # The optimized engines must beat their in-repo references.
+        # (telemetry-overhead is excluded: its "speedup" is the
+        # enabled/disabled recorder ratio, expected to hover near 1.)
         for report in (atpg, atpg_events, embedding, context):
             for case in report["cases"]:
                 assert case["speedup"] > 1.0
