@@ -24,18 +24,34 @@ Design notes
   with the stored record.
 * Groups are submitted in deterministic spec order; workers **stream** each
   job's result back over a manager queue the moment it is computed, and
-  only the parent appends to the store, so no file locking is needed and
-  an interrupted (or hung) campaign keeps everything finished so far.
+  only the parent appends to the store (guarded by the store's advisory
+  writer lock, acquired up front so two campaigns sharing one store fail
+  fast instead of interleaving), so an interrupted (or hung) campaign
+  keeps everything finished so far.
 * Per-job failures are captured as records (status ``error``) instead of
   aborting the campaign; when a job genuinely *hangs* (no result from any
   worker within the inactivity window), only the still-pending jobs are
   reported as ``timeout`` -- the group's already-streamed results survive
-  -- and the pool is terminated so stragglers cannot outlive the campaign.
+  -- and the workers are terminated so stragglers cannot outlive the
+  campaign.
+* Workers are **managed processes, one per chunk**, not an opaque
+  ``multiprocessing.Pool``: the scheduler watches exit codes, so a worker
+  that dies hard (SIGKILL, OOM, segfault) is detected precisely.  The
+  crashed chunk's unfinished jobs are *requeued* on a respawned worker
+  with bounded exponential backoff plus jitter; the job that was running
+  when the worker died (the first unfinished one in chunk order) is the
+  *suspected poison job* -- it is blamed, moved to the end of the requeued
+  chunk so the never-attempted jobs run first, and given up on (a stored
+  ``error`` record with ``exhausted=True``) only after ``max_retries``
+  blames.  Jobs that merely sat queued behind a crash are never charged
+  for it.  ``KeyboardInterrupt`` terminates the workers and propagates
+  with everything already streamed safely in the store.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 import traceback
 from collections import OrderedDict
@@ -74,6 +90,11 @@ class JobOutcome:
     resumed (``cached``) outcome both are taken from the stored record, and
     ``elapsed_s`` is the stored record's original compute time -- not zero
     -- so aggregate timing reports stay honest on warm stores.
+
+    ``retried`` counts the worker crashes this job survived before the
+    recorded outcome (0 on an undisturbed run); ``exhausted`` marks an
+    ``error`` outcome produced because the job was blamed for
+    ``max_retries`` worker crashes and given up on.
     """
 
     job: JobSpec
@@ -84,6 +105,8 @@ class JobOutcome:
     elapsed_s: float = 0.0
     stage_timings: Optional[Dict[str, float]] = None
     cache_stats: Optional[Dict[str, int]] = None
+    retried: int = 0
+    exhausted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -116,6 +139,16 @@ class CampaignResult:
     @property
     def num_failed(self) -> int:
         return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def num_retried(self) -> int:
+        """Jobs that survived at least one worker crash before finishing."""
+        return sum(1 for outcome in self.outcomes if outcome.retried > 0)
+
+    @property
+    def total_retries(self) -> int:
+        """Summed worker-crash retries across all jobs."""
+        return sum(outcome.retried for outcome in self.outcomes)
 
     @property
     def all_cached(self) -> bool:
@@ -169,7 +202,7 @@ def _job_error(index: int, error: str, elapsed_s: float = 0.0) -> Dict[str, obje
 
 
 def _execute_group_payload(
-    payload: Dict[str, object], queue=None
+    payload: Dict[str, object], queue=None, on_result=None
 ) -> List[Dict[str, object]]:
     """Run one encode-key group of jobs in a worker process.
 
@@ -182,6 +215,9 @@ def _execute_group_payload(
     ``queue`` is given (the pool path), every result is additionally
     **pushed onto it the moment it is computed**, so the parent can
     persist completed work even if a later job of the group hangs.
+    ``on_result`` is the inline (jobs=1) equivalent: a callback invoked
+    per result as it is computed, so a Ctrl-C mid-group still leaves the
+    finished jobs persisted.
 
     The per-job ``timeout`` of the payload is enforced *here* as a group
     budget (``timeout * num_jobs``): once the budget is spent, the
@@ -196,6 +232,8 @@ def _execute_group_payload(
         results.append(result)
         if queue is not None:
             queue.put(result)
+        if on_result is not None:
+            on_result(result)
 
     # Telemetry wiring.  On the pool path (queue given) the worker gets its
     # own recorder and ships a per-job batch back inside each result dict;
@@ -333,6 +371,14 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("spawn")
 
 
+@dataclass
+class _ActiveWorker:
+    """One live worker process and the chunk it is executing."""
+
+    process: multiprocessing.Process
+    payload: Dict[str, object]
+
+
 class CampaignRunner:
     """Execute a campaign spec against a result store.
 
@@ -359,6 +405,18 @@ class CampaignRunner:
         record are returned as cache hits without recomputation; their
         outcomes carry the stored record's original ``elapsed_s``,
         ``stage_timings`` and ``cache_stats``.
+    max_retries:
+        How many worker crashes a single job may be blamed for before it
+        is given up on (an ``error`` record with ``exhausted=True``).  A
+        crash blames the job the dead worker was running -- the first
+        unfinished job of its chunk -- and requeues the chunk's remaining
+        jobs on a respawned worker, never-attempted jobs first.  Bounds
+        the total crash count of a campaign at ``(max_retries + 1) x
+        num_jobs``.
+    retry_backoff_s:
+        Base delay before a crashed chunk is requeued; doubles per blame
+        of the same job (capped at 30s) with up to 25% random jitter so
+        co-crashing campaigns do not respawn in lockstep.
     recorder:
         A :class:`~repro.telemetry.Recorder` to collect campaign telemetry
         into (defaults to the process-wide active recorder).  When enabled,
@@ -376,14 +434,20 @@ class CampaignRunner:
         timeout: Optional[float] = None,
         resume: bool = True,
         recorder=None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.5,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be at least 0")
         self._spec = spec
         self._store = store
         self._jobs = jobs
         self._timeout = timeout
         self._resume = resume
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
         self._recorder = recorder if recorder is not None else get_recorder()
 
     # ------------------------------------------------------------------
@@ -465,6 +529,8 @@ class CampaignRunner:
                 elapsed_s=result["elapsed_s"],
                 stage_timings=result.get("stage_timings"),
                 cache_stats=result.get("cache_stats"),
+                retried=int(result.get("retried", 0)),
+                exhausted=bool(result.get("exhausted", False)),
             )
             outcomes[index] = outcome
             if outcome.status in (STATUS_OK, STATUS_ERROR):
@@ -481,6 +547,8 @@ class CampaignRunner:
                         elapsed_s=outcome.elapsed_s,
                         stage_timings=outcome.stage_timings,
                         cache_stats=outcome.cache_stats,
+                        retried=outcome.retried,
+                        exhausted=outcome.exhausted,
                     )
                 )
             if progress is not None:
@@ -488,6 +556,9 @@ class CampaignRunner:
 
         payloads = list(groups.values())
         if payloads:
+            # Fail fast if another live campaign is writing this store --
+            # before any work is spent, not on the first append.
+            self._store.lock()
             recorder = self._recorder
             with recorder.span(
                 "campaign.run",
@@ -507,8 +578,9 @@ class CampaignRunner:
                     # it even when the caller never set a global one).
                     with use_recorder(recorder):
                         for payload in payloads:
-                            for result in _execute_group_payload(payload):
-                                finish(result)
+                            # Stream per job (on_result) so an interrupt
+                            # mid-group keeps the finished jobs persisted.
+                            _execute_group_payload(payload, on_result=finish)
                 else:
                     chunks = _split_for_parallelism(payloads, self._jobs)
                     if recorder.enabled:
@@ -540,24 +612,34 @@ class CampaignRunner:
         return resolved
 
     #: Queue poll period of the streaming collector (seconds); bounds how
-    #: long a dead-pool diagnosis can lag behind the last worker exit.
+    #: long a worker-crash diagnosis can lag behind the worker's exit.
     _POLL_S = 0.25
+    #: Ceiling on the exponential crash-retry backoff.
+    _BACKOFF_CAP_S = 30.0
 
     def _run_pool(
         self,
         payloads: List[Dict[str, object]],
         finish: Callable[[Dict[str, object]], None],
     ) -> None:
-        """Submit every group and stream per-job results to ``finish``.
+        """Schedule every chunk on managed worker processes, with retries.
 
-        Workers push each job's result onto a manager queue the moment it
-        is computed, so completed work is persisted immediately.  When no
-        result arrives from *any* worker within the inactivity window
-        (per-job timeout x (largest remaining group + 1) -- a bound on how
-        long a healthy worker can legitimately stay silent), the
-        still-pending jobs are reported as ``timeout`` and the pool is
-        terminated: a genuinely hung job loses only itself and the jobs
-        queued behind it, never the results streamed before the hang.
+        One worker process per chunk, at most ``jobs`` alive at a time;
+        workers push each job's result onto a manager queue the moment it
+        is computed, so completed work is persisted immediately.  A worker
+        that exits with unfinished jobs *crashed* (SIGKILL, OOM, segfault
+        -- the worker body never raises): the first unfinished job in
+        chunk order is the one it was running and takes the blame; the
+        chunk's unfinished jobs are requeued on a fresh worker after an
+        exponential backoff, blamed job last, and a job blamed
+        ``max_retries`` times is recorded as ``error``/``exhausted``
+        instead of being requeued.  When no result arrives from *any*
+        worker within the inactivity window (per-job timeout x (largest
+        remaining group + 1) -- a bound on how long a healthy worker can
+        legitimately stay silent), the still-pending jobs are reported as
+        ``timeout`` and the workers are terminated: a genuinely hung job
+        loses only itself and the jobs queued behind it, never the
+        results streamed before the hang.
         """
         context = _pool_context()
         manager = multiprocessing.Manager()
@@ -565,63 +647,192 @@ class CampaignRunner:
         remaining: Set[int] = {
             job["index"] for payload in payloads for job in payload["jobs"]
         }
-        pool = context.Pool(processes=min(self._jobs, len(payloads)))
-        timed_out = False
-        try:
-            handles = [
-                pool.apply_async(_execute_group_payload, (payload, queue))
-                for payload in payloads
-            ]
-            while remaining:
-                window = self._inactivity_window(payloads, remaining)
-                result, failure = self._next_result(queue, handles, window)
-                if result is not None:
-                    if result["index"] in remaining:
-                        remaining.discard(result["index"])
-                        finish(result)
+        retries: Dict[int, int] = {}
+        jitter = random.Random()  # scheduling jitter only, never results
+        work: List[Dict[str, object]] = [
+            {"payload": payload, "not_before": 0.0} for payload in payloads
+        ]
+        active: List[_ActiveWorker] = []
+        hang_declared = False
+        last_activity = time.monotonic()
+
+        def launch_ready() -> None:
+            nonlocal last_activity
+            slot = 0
+            while slot < len(work) and len(active) < self._jobs:
+                if work[slot]["not_before"] > time.monotonic():
+                    slot += 1  # still backing off; look at the next chunk
                     continue
-                if failure == "timeout":
-                    timed_out = True
-                    for index in sorted(remaining):
-                        finish(
-                            {
-                                "index": index,
-                                "status": STATUS_TIMEOUT,
-                                "summary": None,
-                                "error": (
-                                    f"no result arrived from any worker "
-                                    f"within {window:.1f}s (per-job timeout "
-                                    f"{self._timeout:.1f}s x largest "
-                                    f"pending group's size + grace); a job "
-                                    f"is hanging -- results streamed before "
-                                    f"the hang were kept"
-                                ),
-                                "elapsed_s": self._timeout,
-                                "stage_timings": None,
-                                "cache_stats": None,
-                            }
-                        )
-                    break
-                # failure == "dead": every worker exited, the queue is
-                # drained, yet jobs are missing -- a worker crashed hard
-                # (killed, segfault).  Surface the first pool exception.
-                error = "worker exited without returning a result"
-                for handle in handles:
-                    try:
-                        handle.get(timeout=0)
-                    except Exception as exc:  # noqa: BLE001 - diagnostic
-                        error = f"{error}: {exc!r}"
+                entry = work.pop(slot)
+                process = context.Process(
+                    target=_execute_group_payload,
+                    args=(entry["payload"], queue),
+                    daemon=True,
+                )
+                process.start()
+                active.append(
+                    _ActiveWorker(process=process, payload=entry["payload"])
+                )
+                last_activity = time.monotonic()
+
+        def drain(block_s: float) -> None:
+            """Apply every queued result (waiting up to ``block_s`` for
+            the first); crash-raced duplicates of already-finished indexes
+            are ignored."""
+            nonlocal last_activity
+            timeout = block_s
+            while True:
+                try:
+                    result = (
+                        queue.get(timeout=timeout)
+                        if timeout > 0
+                        else queue.get_nowait()
+                    )
+                except Empty:
+                    return
+                timeout = 0.0  # after the first, only sweep what is ready
+                last_activity = time.monotonic()
+                index = result["index"]
+                if index in remaining:
+                    remaining.discard(index)
+                    result.setdefault("retried", retries.get(index, 0))
+                    finish(result)
+
+        try:
+            while remaining and (work or active):
+                launch_ready()
+                drain(self._POLL_S)
+                for worker in list(active):
+                    if worker.process.is_alive():
+                        continue
+                    worker.process.join()
+                    active.remove(worker)
+                    # A finished put lands in the manager *before* the
+                    # worker moves on, so once the process is gone a final
+                    # sweep sees everything it completed.
+                    drain(0.0)
+                    unfinished = [
+                        job
+                        for job in worker.payload["jobs"]
+                        if job["index"] in remaining
+                    ]
+                    if not unfinished:
+                        continue  # clean exit, chunk fully reported
+                    self._handle_worker_crash(
+                        worker, unfinished, retries, remaining, work,
+                        jitter, finish,
+                    )
+                    last_activity = time.monotonic()
+                if remaining and active:
+                    window = self._inactivity_window(
+                        [worker.payload for worker in active]
+                        + [entry["payload"] for entry in work],
+                        remaining,
+                    )
+                    if (
+                        window is not None
+                        and time.monotonic() - last_activity >= window
+                    ):
+                        hang_declared = True
+                        for index in sorted(remaining):
+                            remaining.discard(index)
+                            finish(
+                                {
+                                    "index": index,
+                                    "status": STATUS_TIMEOUT,
+                                    "summary": None,
+                                    "error": (
+                                        f"no result arrived from any worker "
+                                        f"within {window:.1f}s (per-job "
+                                        f"timeout {self._timeout:.1f}s x "
+                                        f"largest pending group's size + "
+                                        f"grace); a job is hanging -- "
+                                        f"results streamed before the hang "
+                                        f"were kept"
+                                    ),
+                                    "elapsed_s": self._timeout,
+                                    "stage_timings": None,
+                                    "cache_stats": None,
+                                }
+                            )
                         break
-                for index in sorted(remaining):
-                    finish(_job_error(index, error))
-                break
+            # Defensive: the loop above always requeues or reports every
+            # job, so anything left here means the scheduler lost a chunk.
+            for index in sorted(remaining):
+                finish(
+                    _job_error(
+                        index,
+                        "never attempted: the worker pool was lost before "
+                        "this job started",
+                    )
+                )
         finally:
-            if timed_out:
-                pool.terminate()  # don't let stragglers outlive the campaign
-            else:
-                pool.close()
-            pool.join()
+            for worker in active:
+                if hang_declared or remaining:
+                    worker.process.terminate()
+                worker.process.join()
             manager.shutdown()
+
+    def _handle_worker_crash(
+        self,
+        worker: "_ActiveWorker",
+        unfinished: List[Dict[str, object]],
+        retries: Dict[int, int],
+        remaining: Set[int],
+        work: List[Dict[str, object]],
+        jitter: random.Random,
+        finish: Callable[[Dict[str, object]], None],
+    ) -> None:
+        """Blame, requeue or exhaust the jobs of a crashed worker."""
+        exitcode = worker.process.exitcode
+        if self._recorder.enabled:
+            self._recorder.counter("campaign.worker_crashes")
+        blamed = unfinished[0]
+        queued_behind = unfinished[1:]
+        index = blamed["index"]
+        attempt = retries.get(index, 0) + 1
+        retries[index] = attempt
+        requeue = list(queued_behind)  # never-attempted jobs go first
+        if attempt > self._max_retries:
+            remaining.discard(index)
+            finish(
+                {
+                    "index": index,
+                    "status": STATUS_ERROR,
+                    "summary": None,
+                    "error": (
+                        f"worker crashed (exit code {exitcode}) while "
+                        f"running this job; giving up after "
+                        f"{attempt} crash(es) (max_retries="
+                        f"{self._max_retries}).  The {len(queued_behind)} "
+                        f"job(s) queued behind it were never attempted and "
+                        f"were requeued, not failed."
+                    ),
+                    "elapsed_s": 0.0,
+                    "stage_timings": None,
+                    "cache_stats": None,
+                    "retried": attempt - 1,
+                    "exhausted": True,
+                }
+            )
+        else:
+            if self._recorder.enabled:
+                self._recorder.counter("campaign.job_retries")
+            # The suspected poison job runs last so the jobs that merely
+            # sat behind the crash are not held hostage by a repeat crash.
+            requeue.append(blamed)
+        if requeue:
+            delay = min(
+                self._BACKOFF_CAP_S,
+                self._retry_backoff_s * (2 ** (attempt - 1)),
+            )
+            delay *= 1.0 + 0.25 * jitter.random()
+            work.append(
+                {
+                    "payload": dict(worker.payload, jobs=requeue),
+                    "not_before": time.monotonic() + delay,
+                }
+            )
 
     def _inactivity_window(
         self, payloads: List[Dict[str, object]], remaining: Set[int]
@@ -649,27 +860,3 @@ class CampaignRunner:
         )
         return self._timeout * (largest + 1)
 
-    def _next_result(
-        self, queue, handles, window: Optional[float]
-    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
-        """One streamed result, or ``(None, "timeout"|"dead")``.
-
-        Polls the queue so a dead pool (every async handle ready, queue
-        drained, jobs missing) is distinguished from a hang.
-        """
-        deadline = None if window is None else time.perf_counter() + window
-        while True:
-            timeout = self._POLL_S
-            if deadline is not None:
-                left = deadline - time.perf_counter()
-                if left <= 0:
-                    return None, "timeout"
-                timeout = min(self._POLL_S, left)
-            try:
-                return queue.get(timeout=timeout), None
-            except Empty:
-                if all(handle.ready() for handle in handles):
-                    try:  # one final drain: results may have raced the exit
-                        return queue.get_nowait(), None
-                    except Empty:
-                        return None, "dead"

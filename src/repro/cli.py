@@ -20,7 +20,21 @@ Python:
     shared CompressionContext (the substrate and the seeds are computed
     once per group); per-stage timings and context-cache hit counts are
     printed after the run.  Re-running with ``--resume`` skips every
-    already-completed job.
+    already-completed job.  Workers that die hard (SIGKILL, OOM) are
+    respawned and their unfinished jobs retried with backoff (bounded by
+    ``--max-retries``); Ctrl-C terminates the pool, keeps everything
+    already streamed into the store and exits 130.
+
+``fuzz``
+    Differentially fuzz every interchangeable engine pair (packed vs dict
+    simulation, event-driven vs full-pass PODEM, batched vs per-pattern
+    fault dropping, batched vs sequential scan solving, numpy vs
+    reference embedding, batched vs per-clock decompressor replay) with
+    seeded random netlists/test sets/configs until ``--time-budget`` is
+    spent.  Any divergence is delta-debugged down to a minimal case and
+    written as a self-contained repro directory (``--replay`` re-runs
+    one).  ``--chaos`` adds fault injection: SIGKILLed campaign workers
+    and corrupted store tails, asserting nothing is ever lost.
 
 ``atpg``
     Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
@@ -67,6 +81,9 @@ Examples
     python -m repro stats results/campaign
     python -m repro atpg --bench my_core.bench --output my_core.tests
     python -m repro bench --quick --out results --baseline results
+    python -m repro fuzz --time-budget 60 --seed 0
+    python -m repro fuzz --chaos --checks chaos-worker-kill
+    python -m repro fuzz --replay results/fuzz/repro-ternary-sim-1234
 """
 
 from __future__ import annotations
@@ -156,15 +173,22 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    if args.trace:
-        from repro.telemetry import Recorder, use_recorder
+    try:
+        if args.trace:
+            from repro.telemetry import Recorder, use_recorder
 
-        recorder = Recorder()
-        with use_recorder(recorder):
-            status = _run_compress(args)
-        _emit_telemetry(recorder, args.trace_dir, "compress telemetry")
-        return status
-    return _run_compress(args)
+            recorder = Recorder()
+            with use_recorder(recorder):
+                status = _run_compress(args)
+            _emit_telemetry(recorder, args.trace_dir, "compress telemetry")
+            return status
+        return _run_compress(args)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted: compression abandoned, nothing written",
+            file=sys.stderr,
+        )
+        return 130
 
 
 def _run_compress(args: argparse.Namespace) -> int:
@@ -297,7 +321,7 @@ def _build_campaign_spec(args: argparse.Namespace):
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign.report import campaign_report
     from repro.campaign.runner import CampaignRunner
-    from repro.campaign.store import ResultStore
+    from repro.campaign.store import ResultStore, StoreLockedError
 
     recorder = None
     if args.trace:
@@ -314,6 +338,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             resume=args.resume,
             recorder=recorder,
+            max_retries=args.max_retries,
+            retry_backoff_s=args.retry_backoff,
         )
     except (OSError, ValueError, RuntimeError, KeyError) as error:
         raise SystemExit(f"campaign setup failed: {error}")
@@ -324,20 +350,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             line += f"  ({outcome.elapsed_s:.2f}s)"
         elif not outcome.ok and outcome.error:
             line += f"  {outcome.error.splitlines()[-1]}"
+        if outcome.retried:
+            line += f"  [survived {outcome.retried} worker crash(es)]"
         print(line)
 
     try:
         result = runner.run(progress=progress)
+    except StoreLockedError as error:
+        store.close()
+        raise SystemExit(f"campaign refused: {error}")
+    except KeyboardInterrupt:
+        # The workers are already terminated and every streamed result is
+        # flushed; close releases the writer lock, then report what the
+        # store keeps so a --resume rerun is an informed choice.
+        store.close()
+        print(
+            f"\ninterrupted: {len(store)} result(s) persisted in "
+            f"{store.path}; re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
     except (OSError, ValueError) as error:
         # parent-side failures (unreadable/malformed source files, spec
         # expansion) -- per-job errors are captured in the outcomes instead
         raise SystemExit(f"campaign failed: {error}")
     finally:
         store.close()
+    retry_note = (
+        f", {result.total_retries} crash retr"
+        f"{'y' if result.total_retries == 1 else 'ies'}"
+        if result.total_retries
+        else ""
+    )
     print(
         f"\ncampaign {result.campaign}: {result.num_jobs} jobs -- "
         f"{result.num_computed} computed, {result.num_cached} cached, "
-        f"{result.num_failed} failed (store: {store.path})"
+        f"{result.num_failed} failed{retry_note} (store: {store.path})"
     )
     timings = result.stage_timing_totals()
     if timings:
@@ -536,8 +584,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if results_path.exists():
         from repro.campaign.store import ResultStore
 
-        with ResultStore(root) as store:
+        # Read-only: never touches the writer lock or the file, so stats
+        # works against a store a live campaign is writing right now.
+        with ResultStore(root, read_only=True) as store:
             records = store.records()
+            writer = store.writer_pid()
+        if writer is not None:
+            sections.append(
+                f"note: a live campaign (pid {writer}) is writing this store"
+            )
         num_ok = sum(1 for record in records if record.ok)
         cache_totals: dict = {}
         elapsed = 0.0
@@ -578,6 +633,57 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if run_ids:
         print(f"\nruns: {', '.join(sorted(run_ids))}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import load_case, replay_case, resolve_checks, run_fuzz
+
+    if args.replay:
+        try:
+            case = load_case(args.replay)
+        except (OSError, ValueError, KeyError) as error:
+            raise SystemExit(f"cannot load repro case: {error}")
+        outcome = replay_case(case)
+        print(
+            f"replay {case.check} seed={case.seed} params={case.params}: "
+            f"{outcome.status}"
+        )
+        if outcome.detail:
+            print(outcome.detail)
+        return 1 if outcome.status == "mismatch" else 0
+
+    try:
+        checks = resolve_checks(args.checks or None, include_chaos=args.chaos)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    def progress(outcome):
+        if outcome.status == "mismatch":
+            print(
+                f"[MISMATCH] {outcome.case.check} seed={outcome.case.seed} "
+                f"params={outcome.case.params}: {outcome.detail}"
+            )
+
+    try:
+        report = run_fuzz(
+            checks=checks,
+            time_budget_s=args.time_budget,
+            seed=args.seed,
+            out_dir=args.out,
+            shrink=not args.no_shrink,
+            include_chaos=args.chaos,
+            max_mismatches=args.max_mismatches,
+            progress=progress,
+        )
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted: shrunk repros found so far are under "
+            f"{args.out}",
+            file=sys.stderr,
+        )
+        return 130
+    print("\n".join(report.summary_lines()))
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -644,6 +750,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-job timeout in seconds")
     execution.add_argument("--resume", action="store_true",
                            help="skip jobs already completed in the store")
+    execution.add_argument(
+        "--max-retries", type=int, default=2,
+        help="worker crashes a single job may be blamed for before it is "
+             "recorded as an exhausted error (default 2); crashed chunks "
+             "are requeued on respawned workers with exponential backoff",
+    )
+    execution.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base crash-retry backoff, doubled per retry of the same job "
+             "with jitter (default 0.5)",
+    )
     execution.add_argument("--report", action="store_true",
                            help="print the aggregated improvement grids")
     # no --trace-dir: campaign telemetry lands next to the result store,
@@ -726,6 +843,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append the results to a campaign result store",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the interchangeable engine pairs "
+             "(plus chaos fault injection with --chaos)",
+    )
+    fuzz_parser.add_argument(
+        "--time-budget", type=float, default=60.0, metavar="SECONDS",
+        help="wall-clock budget (default 60); the first round always "
+             "covers every selected check, whatever the budget",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed; the whole case sequence is derived from it "
+             "(default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--checks", nargs="*", metavar="NAME",
+        help="check names to run (default: every differential check; "
+             "see the fuzz report for the list)",
+    )
+    fuzz_parser.add_argument(
+        "--chaos", action="store_true",
+        help="include the chaos checks (SIGKILLed campaign workers, "
+             "corrupted store tails)",
+    )
+    fuzz_parser.add_argument(
+        "--out", default="results/fuzz", metavar="DIR",
+        help="directory for shrunk repro cases (default results/fuzz)",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging minimisation of mismatching cases",
+    )
+    fuzz_parser.add_argument(
+        "--max-mismatches", type=int, default=5,
+        help="stop after this many distinct failing checks (default 5)",
+    )
+    fuzz_parser.add_argument(
+        "--replay", metavar="PATH",
+        help="re-execute one stored case (a repro directory or its "
+             "case.json) instead of fuzzing",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,57 @@
+"""Fault-injection and differential fuzzing subsystem.
+
+The repo's safety net for its interchangeable engine variants, promoted
+from per-PR golden tests to a first-class subsystem (ROADMAP direction 5):
+
+* :mod:`repro.fuzz.generators` -- seeded, fully deterministic random
+  netlist / test-set / config generation (a case is (check, seed, params));
+* :mod:`repro.fuzz.oracle` -- differential checks asserting bit-identical
+  results across every engine pair (packed vs dict simulation, events vs
+  full-pass PODEM, batched vs per-pattern drops, batched-trials vs scan
+  solving, numpy vs reference embedding, batched vs per-clock replay);
+* :mod:`repro.fuzz.chaos` -- fault injection: SIGKILLed campaign workers
+  and corrupted store tails, with lose-nothing verification;
+* :mod:`repro.fuzz.shrink` -- delta-debugging parameter minimisation and
+  self-contained repro directories;
+* :mod:`repro.fuzz.runner` -- the time-budgeted fuzz loop behind
+  ``repro fuzz``.
+"""
+
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracle import (
+    CHECKS,
+    Check,
+    CheckOutcome,
+    SkipCase,
+    chaos_check_names,
+    differential_check_names,
+    run_case,
+)
+from repro.fuzz.runner import (
+    FuzzMismatch,
+    FuzzReport,
+    replay_case,
+    resolve_checks,
+    run_fuzz,
+)
+from repro.fuzz.shrink import ShrinkResult, load_case, shrink_case, write_repro
+
+__all__ = [
+    "CHECKS",
+    "Check",
+    "CheckOutcome",
+    "FuzzCase",
+    "FuzzMismatch",
+    "FuzzReport",
+    "ShrinkResult",
+    "SkipCase",
+    "chaos_check_names",
+    "differential_check_names",
+    "load_case",
+    "replay_case",
+    "resolve_checks",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+    "write_repro",
+]

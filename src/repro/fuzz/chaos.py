@@ -1,0 +1,302 @@
+"""Chaos checks: inject real faults, assert nothing is lost.
+
+Two fault families cover the campaign subsystem's crash-consistency
+contract:
+
+``chaos-worker-kill``
+    Runs a real (tiny) campaign on a two-worker pool whose first worker(s)
+    SIGKILL *themselves* mid-``compress`` -- an honest hard crash, no
+    cleanup, no exception path.  The campaign must still complete with
+    every job ``ok`` (the runner respawns and retries the crashed chunk),
+    the store must hold exactly one record per job (nothing lost, nothing
+    duplicated), and the retry accounting must show the injected crashes.
+
+``chaos-store-tail``
+    Fills a result store, then mutilates the file tail the way crashes do
+    -- truncation inside a record, garbage overwrite, a torn appended
+    fragment, cuts spanning several records -- and asserts the reload
+    keeps exactly the intact prefix, repairs the file, and that re-putting
+    the lost records restores completeness (i.e. a resumed campaign loses
+    nothing but the torn tail itself).
+
+Both are registered with ``chaos=True``: the default differential sweep
+skips them (they fork processes and write temp directories), ``repro fuzz
+--chaos`` and the nightly CI run include them.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fuzz.generators import FuzzCase, ParamRange, case_test_set
+from repro.fuzz.oracle import Check, SkipCase, register
+from repro.telemetry import get_recorder
+
+
+def _require_fork() -> None:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError as error:  # pragma: no cover - non-POSIX platforms
+        raise SkipCase(f"chaos checks need the fork start method: {error}")
+
+
+# ----------------------------------------------------------------------
+# Worker-kill chaos
+# ----------------------------------------------------------------------
+def _killing_compress(marker_dir: str, kills: int, real_compress):
+    """A compress wrapper whose first ``kills`` callers SIGKILL themselves.
+
+    Coordination runs through marker files (one per kill) so it works
+    across forked worker processes: each new worker that finds a free
+    marker slot claims it atomically and dies mid-job, exactly once.
+    """
+
+    def wrapper(test_set, config, **kwargs):
+        for slot in range(kills):
+            marker = Path(marker_dir) / f"kill-{slot}"
+            try:
+                marker.touch(exist_ok=False)
+            except FileExistsError:
+                continue
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real_compress(test_set, config, **kwargs)
+
+    return wrapper
+
+
+def _check_worker_kill(case: FuzzCase) -> Optional[str]:
+    _require_fork()
+    from repro.campaign import runner as runner_mod
+    from repro.campaign.spec import CampaignSpec, TestSource
+    from repro.campaign.store import ResultStore
+    from repro.config import CompressionConfig
+
+    kills = max(1, case.params.get("kills", 1))
+    test_set = case_test_set(case)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    real_compress = runner_mod.compress
+    try:
+        tests_path = workdir / "chaos.tests"
+        tests_path.write_text(test_set.to_text())
+        spec = CampaignSpec(
+            name=f"chaos-{case.seed}",
+            sources=(TestSource(tests=str(tests_path)),),
+            base=CompressionConfig(
+                window_length=20,
+                num_scan_chains=min(8, test_set.num_cells),
+                lfsr_size=test_set.max_specified() + 8,
+            ),
+            axes={"speedup": [3, 6], "segment_size": [4, 10]},
+        )
+        runner_mod.compress = _killing_compress(
+            str(workdir), kills, real_compress
+        )
+        get_recorder().counter("fuzz.faults_injected", kills)
+        with ResultStore(workdir / "store") as store:
+            result = runner_mod.CampaignRunner(
+                spec,
+                store,
+                jobs=2,
+                max_retries=3,
+                retry_backoff_s=0.05,
+            ).run()
+            injected = sum(
+                1 for slot in range(kills) if (workdir / f"kill-{slot}").exists()
+            )
+            if injected == 0:
+                raise SkipCase("no worker picked up a kill marker")
+            failures = [
+                f"{outcome.job.job_id}={outcome.status}"
+                for outcome in result.outcomes
+                if outcome.status != "ok"
+            ]
+            if failures:
+                return (
+                    f"campaign did not recover from {injected} SIGKILLed "
+                    f"worker(s): {failures}"
+                )
+            retried = sum(outcome.retried for outcome in result.outcomes)
+            if retried == 0:
+                return (
+                    f"{injected} worker(s) were SIGKILLed but no job reports "
+                    f"a retry -- crash recovery accounting is broken"
+                )
+            # One line per job: nothing lost, nothing duplicated.
+            lines = [
+                json.loads(line)
+                for line in store.path.read_text().splitlines()
+                if line.strip()
+            ]
+            keys = [line["key"] for line in lines]
+            if len(keys) != len(set(keys)):
+                dupes = sorted(k for k in set(keys) if keys.count(k) > 1)
+                return f"duplicate store records after crash retry: {dupes}"
+            if len(keys) != result.num_jobs:
+                return (
+                    f"store holds {len(keys)} records for {result.num_jobs} "
+                    f"jobs after crash retry"
+                )
+            missing = [
+                outcome.key
+                for outcome in result.outcomes
+                if not store.completed(outcome.key)
+            ]
+            if missing:
+                return f"jobs lost from the store after crash retry: {missing}"
+        return None
+    finally:
+        runner_mod.compress = real_compress
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Store-tail chaos
+# ----------------------------------------------------------------------
+def _synthetic_records(case: FuzzCase, count: int):
+    from repro.campaign.store import StoredResult
+
+    return [
+        StoredResult(
+            key=f"chaos{case.seed:08d}{i:04d}",
+            job_id=f"job-{i}",
+            circuit="chaos",
+            fingerprint=f"fp{case.seed}",
+            config={"window_length": 20, "segment_size": 4},
+            status="ok",
+            summary={"index": i, "tsl": 100 + i},
+            elapsed_s=0.01 * i,
+        )
+        for i in range(count)
+    ]
+
+
+def _corrupt_tail(path: Path, rng, ops: int) -> None:
+    """Apply ``ops`` random tail corruptions to the store file.
+
+    Every operation only damages a *suffix* of the file -- exactly what
+    interrupted appends and torn page writebacks produce.
+    """
+    for _ in range(ops):
+        raw = path.read_bytes()
+        if not raw:
+            break
+        op = rng.choice(("truncate", "garbage", "fragment"))
+        if op == "truncate":
+            cut = rng.randrange(max(1, len(raw) - 200), len(raw))
+            path.write_bytes(raw[:cut])
+        elif op == "garbage":
+            length = rng.randrange(1, 120)
+            junk = bytes(rng.randrange(256) for _ in range(length))
+            path.write_bytes(raw[: max(0, len(raw) - length)] + junk)
+        else:  # fragment: a torn half-record appended with no newline
+            fragment = b'{"key": "torn", "job_id": "half'
+            path.write_bytes(raw + fragment[: rng.randrange(4, len(fragment))])
+
+
+def _intact_prefix_keys(path: Path) -> set:
+    """Keys of the leading run of fully intact record lines.
+
+    The corruption ops only ever damage a suffix, so a correct repair must
+    keep exactly these records (a trailing intact-but-unterminated record
+    is also kept, matching the store's torn-newline semantics).
+    """
+    from repro.campaign.store import StoredResult
+
+    keys = set()
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    for number, line in enumerate(lines, 1):
+        if not line:
+            continue
+        try:
+            record = StoredResult.from_dict(json.loads(line.decode("utf-8")))
+        except Exception:
+            break
+        if number == len(lines) and not raw.endswith(b"\n"):
+            # unterminated final line: kept only if it parsed (it did)
+            keys.add(record.key)
+            break
+        keys.add(record.key)
+    return keys
+
+
+def _check_store_tail(case: FuzzCase) -> Optional[str]:
+    from repro.campaign.store import ResultStore
+
+    rng = case.rng("corruption")
+    count = max(3, case.params.get("records", 8))
+    ops = max(1, case.params.get("ops", 2))
+    records = _synthetic_records(case, count)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-store-"))
+    try:
+        with ResultStore(workdir) as store:
+            for record in records:
+                store.put(record)
+            path = store.path
+        _corrupt_tail(path, rng, ops)
+        get_recorder().counter("fuzz.faults_injected", ops)
+        expected_keys = _intact_prefix_keys(path)
+        try:
+            with ResultStore(workdir) as reloaded:
+                kept = {record.key for record in reloaded.records()}
+                if kept != expected_keys:
+                    return (
+                        f"after tail corruption the store kept {sorted(kept)} "
+                        f"but the intact prefix holds {sorted(expected_keys)}"
+                    )
+                # Resume semantics: re-putting the lost records restores a
+                # complete store without disturbing the kept prefix.
+                for record in records:
+                    if record.key not in kept:
+                        reloaded.put(record)
+            with ResultStore(workdir) as final:
+                final_keys = {record.key for record in final.records()}
+        except ValueError as error:
+            return (
+                f"store reload raised on pure tail corruption (must repair, "
+                f"not fail): {error}"
+            )
+        if final_keys != {record.key for record in records}:
+            return (
+                f"resume after tail corruption lost records: kept only "
+                f"{sorted(final_keys)}"
+            )
+        return None
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+register(
+    Check(
+        name="chaos-worker-kill",
+        description="SIGKILL campaign workers mid-job; retries must lose nothing",
+        space={
+            "num_cells": (32, 64, 16),
+            "num_cubes": (8, 16, 4),
+            "max_specified": (4, 8, 4),
+            "kills": (1, 2, 1),
+        },
+        run=_check_worker_kill,
+        chaos=True,
+    )
+)
+register(
+    Check(
+        name="chaos-store-tail",
+        description="truncate/corrupt the store tail; reload+resume must lose nothing",
+        space={
+            "num_cells": (16, 32, 16),
+            "records": (3, 16, 3),
+            "ops": (1, 4, 1),
+        },
+        run=_check_store_tail,
+        chaos=True,
+    )
+)

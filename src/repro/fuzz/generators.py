@@ -1,0 +1,135 @@
+"""Seeded random generators for the differential fuzzing subsystem.
+
+Every artefact a check consumes -- netlists, test sets, compression
+configs, pattern batches -- is derived *deterministically* from a
+:class:`FuzzCase`: the check name, one integer seed and a flat dict of
+integer size parameters.  That is what makes shrinking and replay work:
+a case file on disk is enough to rebuild the exact failing inputs on any
+machine, and the shrinker can walk the parameter space knowing that the
+same (seed, params) always regenerates the same artefacts.
+
+The parameter *spaces* live with the checks (`repro.fuzz.oracle`); this
+module only turns drawn parameters into concrete objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.generator import random_netlist
+from repro.circuits.netlist import Netlist
+from repro.config import CompressionConfig
+from repro.testdata.profiles import custom_profile
+from repro.testdata.synthetic import generate_test_set
+from repro.testdata.test_set import TestSet
+
+#: Inclusive (low, high, floor) bounds of one integer parameter.  ``floor``
+#: is the hard minimum the shrinker may not cross (usually the smallest
+#: value the generators accept); drawing uses [low, high].
+ParamRange = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One reproducible fuzz input: a check, a seed and sized parameters."""
+
+    check: str
+    seed: int
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"check": self.check, "seed": self.seed, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzCase":
+        return cls(
+            check=str(data["check"]),
+            seed=int(data["seed"]),
+            params={k: int(v) for k, v in dict(data.get("params") or {}).items()},
+        )
+
+    def rng(self, salt: str = "") -> random.Random:
+        """A fresh RNG bound to this case (and an optional stream salt)."""
+        return random.Random(f"{self.check}:{self.seed}:{salt}")
+
+
+def draw_params(rng: random.Random, space: Dict[str, ParamRange]) -> Dict[str, int]:
+    """Draw one value per parameter, in sorted name order (deterministic)."""
+    return {name: rng.randint(space[name][0], space[name][1]) for name in sorted(space)}
+
+
+# ----------------------------------------------------------------------
+# Concrete artefacts
+# ----------------------------------------------------------------------
+def case_netlist(case: FuzzCase) -> Netlist:
+    """The random combinational netlist of a circuit-level case."""
+    return random_netlist(
+        f"fuzz_{case.check}_{case.seed}",
+        num_inputs=max(2, case.params["num_inputs"]),
+        num_gates=max(1, case.params["num_gates"]),
+        seed=case.seed,
+    )
+
+
+def case_test_set(case: FuzzCase) -> TestSet:
+    """A calibrated synthetic test set drawn from the case's parameters."""
+    num_cells = max(8, case.params["num_cells"])
+    max_specified = max(2, min(case.params["max_specified"], num_cells))
+    profile = custom_profile(
+        f"fuzz_{case.check}_{case.seed}",
+        scan_cells=num_cells,
+        num_cubes=max(2, case.params["num_cubes"]),
+        max_specified=max_specified,
+        mean_specified=max(2.0, max_specified / 2.0),
+        scan_chains=max(1, min(case.params.get("chains", 8), num_cells)),
+        lfsr_size=max_specified + 8,
+    )
+    return generate_test_set(profile, seed=case.seed)
+
+
+def case_config(case: FuzzCase, test_set: TestSet) -> CompressionConfig:
+    """A compression config consistent with the drawn test set."""
+    window = max(4, case.params.get("window", 30))
+    return CompressionConfig(
+        window_length=window,
+        segment_size=max(1, min(case.params.get("segment", 5), window)),
+        speedup=max(2, case.params.get("speedup", 6)),
+        num_scan_chains=max(1, min(case.params.get("chains", 8), test_set.num_cells)),
+        lfsr_size=max(test_set.max_specified() + 8, case.params.get("lfsr", 0)),
+    )
+
+
+def case_assignments(
+    case: FuzzCase, netlist: Netlist, count: Optional[int] = None
+) -> List[Dict[str, int]]:
+    """Random partial 0/1 input assignments (the rest of the inputs are X).
+
+    The specified fraction sweeps from fully-X to fully specified across
+    the batch so every density regime is exercised on every case.
+    """
+    rng = case.rng("assignments")
+    count = count if count is not None else max(2, case.params.get("patterns", 6))
+    batch: List[Dict[str, int]] = []
+    for i in range(count):
+        fraction = i / max(1, count - 1)
+        batch.append(
+            {
+                net: rng.getrandbits(1)
+                for net in netlist.inputs
+                if rng.random() < fraction or fraction == 1.0
+            }
+        )
+    return batch
+
+
+def case_patterns(
+    case: FuzzCase, netlist: Netlist, count: Optional[int] = None
+) -> List[Dict[str, int]]:
+    """Fully specified random input patterns (for the fault simulator)."""
+    rng = case.rng("patterns")
+    count = count if count is not None else max(2, case.params.get("patterns", 8))
+    return [
+        {net: rng.getrandbits(1) for net in netlist.inputs} for _ in range(count)
+    ]

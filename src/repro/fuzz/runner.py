@@ -1,0 +1,195 @@
+"""Time-budgeted fuzzing campaign over the registered checks.
+
+:func:`run_fuzz` drives rounds of cases -- one per selected check, round
+after round -- until the wall-clock budget is spent.  The *first* round
+always completes regardless of the budget, so even ``--time-budget 1``
+covers every selected check at least once (what the CI smoke job relies
+on).  Every mismatch is shrunk to a minimal case and written as a repro
+directory; fuzzing then continues with the remaining checks so one broken
+engine pair cannot hide a second one.
+
+Determinism: the whole run derives from one seed.  Case seeds are drawn
+from a master RNG in a fixed order, so ``--seed 0`` reproduces the same
+case sequence on every machine -- only the number of completed rounds
+varies with the time budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+# Importing the chaos module registers its checks alongside the
+# differential ones.
+import repro.fuzz.chaos  # noqa: F401  (registration side effect)
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracle import CHECKS, CheckOutcome, run_case
+from repro.fuzz.shrink import ShrinkResult, shrink_case, write_repro
+from repro.telemetry import get_recorder
+
+
+@dataclass
+class FuzzMismatch:
+    """One detected divergence, with its shrunk repro."""
+
+    outcome: CheckOutcome
+    shrunk: Optional[ShrinkResult] = None
+    repro_path: Optional[Path] = None
+
+    @property
+    def case(self) -> FuzzCase:
+        return self.shrunk.case if self.shrunk is not None else self.outcome.case
+
+    @property
+    def detail(self) -> str:
+        return self.shrunk.detail if self.shrunk is not None else self.outcome.detail
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    seed: int
+    time_budget_s: float
+    elapsed_s: float = 0.0
+    rounds: int = 0
+    cases: int = 0
+    skips: int = 0
+    per_check: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    mismatches: List[FuzzMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"fuzz seed {self.seed}: {self.cases} cases over {self.rounds} "
+            f"round(s) in {self.elapsed_s:.1f}s "
+            f"(budget {self.time_budget_s:.0f}s) -- "
+            f"{len(self.mismatches)} mismatch(es), {self.skips} skipped"
+        ]
+        for name in sorted(self.per_check):
+            counts = self.per_check[name]
+            status = "OK"
+            if counts.get("mismatch"):
+                status = "MISMATCH"
+            elif counts.get("ok", 0) == 0:
+                status = "all-skipped"
+            lines.append(
+                f"  {name:>18}: {counts.get('cases', 0)} cases, "
+                f"{counts.get('ok', 0)} ok, {counts.get('skip', 0)} skipped "
+                f"[{status}]"
+            )
+        for mismatch in self.mismatches:
+            lines.append(
+                f"  FAIL {mismatch.case.check} seed={mismatch.case.seed} "
+                f"params={mismatch.case.params}: {mismatch.detail}"
+            )
+            if mismatch.repro_path is not None:
+                lines.append(f"       repro written: {mismatch.repro_path}")
+        return lines
+
+
+def resolve_checks(
+    names: Optional[List[str]] = None, include_chaos: bool = False
+) -> List[str]:
+    """The check names a run will drive, validated against the registry."""
+    if names:
+        unknown = sorted(set(names) - set(CHECKS))
+        if unknown:
+            raise ValueError(
+                f"unknown fuzz check(s) {unknown}; known: {sorted(CHECKS)}"
+            )
+        return list(dict.fromkeys(names))
+    return [
+        name
+        for name, check in CHECKS.items()
+        if include_chaos or not check.chaos
+    ]
+
+
+def run_fuzz(
+    checks: Optional[List[str]] = None,
+    time_budget_s: float = 30.0,
+    seed: int = 0,
+    out_dir: "str | Path" = "results/fuzz",
+    shrink: bool = True,
+    include_chaos: bool = False,
+    max_mismatches: int = 5,
+    progress: Optional[Callable[[CheckOutcome], None]] = None,
+) -> FuzzReport:
+    """Fuzz the selected checks until the time budget is spent.
+
+    Checks that have already produced a mismatch are retired for the rest
+    of the run (their repro is on disk; re-finding the same divergence
+    spends budget the healthy checks could use).  The run stops early when
+    ``max_mismatches`` distinct checks have failed.
+    """
+    selected = resolve_checks(checks, include_chaos=include_chaos)
+    recorder = get_recorder()
+    report = FuzzReport(seed=seed, time_budget_s=time_budget_s)
+    import random
+
+    master = random.Random(seed)
+    start = time.perf_counter()
+    deadline = start + time_budget_s
+    failed: set = set()
+    with recorder.span("fuzz.run", seed=seed, checks=len(selected)):
+        while True:
+            report.rounds += 1
+            for name in selected:
+                if name in failed:
+                    continue
+                # The first round always runs every check once; later
+                # rounds stop as soon as the budget is exhausted.
+                if report.rounds > 1 and time.perf_counter() >= deadline:
+                    break
+                check = CHECKS[name]
+                case = check.draw(master)
+                outcome = run_case(check, case)
+                counts = report.per_check.setdefault(
+                    name, {"cases": 0, "ok": 0, "skip": 0, "mismatch": 0}
+                )
+                counts["cases"] += 1
+                report.cases += 1
+                recorder.counter("fuzz.cases")
+                if outcome.status == "skip":
+                    counts["skip"] += 1
+                    report.skips += 1
+                elif outcome.status == "mismatch":
+                    counts["mismatch"] += 1
+                    recorder.counter("fuzz.mismatches")
+                    failed.add(name)
+                    mismatch = FuzzMismatch(outcome=outcome)
+                    if shrink:
+                        with recorder.span("fuzz.shrink", check=name):
+                            mismatch.shrunk = shrink_case(
+                                check, case, outcome.detail
+                            )
+                        mismatch.repro_path = write_repro(
+                            out_dir, mismatch.shrunk, original=case
+                        )
+                    report.mismatches.append(mismatch)
+                else:
+                    counts["ok"] += 1
+                if progress is not None:
+                    progress(outcome)
+                if len(report.mismatches) >= max_mismatches:
+                    break
+            still_running = [name for name in selected if name not in failed]
+            if (
+                not still_running
+                or len(report.mismatches) >= max_mismatches
+                or time.perf_counter() >= deadline
+            ):
+                break
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def replay_case(case: FuzzCase) -> CheckOutcome:
+    """Re-execute one stored case (``repro fuzz --replay``)."""
+    return run_case(CHECKS[case.check], case)

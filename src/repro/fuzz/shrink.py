@@ -1,0 +1,167 @@
+"""Delta-debugging shrinker and repro persistence.
+
+When the differential oracle finds a mismatch, the raw case is usually far
+larger than it needs to be (the fuzz loop draws generous sizes on purpose).
+:func:`shrink_case` walks the case's integer parameters toward their floors
+-- halving first, then stepping -- re-running the check after every
+candidate reduction and keeping each one that *still mismatches*.  The
+result is a local minimum: no single parameter can be reduced further
+without losing the failure.
+
+:func:`write_repro` persists a shrunk case as a self-contained directory:
+
+``case.json``
+    check name, seed, minimal parameters, the mismatch detail, shrink
+    statistics and a ready-to-paste replay command.
+``netlist.bench`` / ``test_set.tests``
+    the regenerated input artefacts (when the check consumes them), so the
+    failing inputs are inspectable without running any generator code.
+
+``repro fuzz --replay <dir-or-case.json>`` re-executes the stored case.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracle import CHECKS, Check, case_artifacts, run_case
+
+CASE_FILENAME = "case.json"
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal failing case plus how the shrink went."""
+
+    case: FuzzCase
+    detail: str
+    attempts: int
+    reductions: int
+
+    @property
+    def params(self) -> Dict[str, int]:
+        return self.case.params
+
+
+def _still_fails(check: Check, case: FuzzCase) -> Optional[str]:
+    """The mismatch detail if the candidate case still fails, else None.
+
+    A candidate that *skips* (e.g. shrank into an unencodable corner) does
+    not preserve the failure and is rejected like a passing one.
+    """
+    outcome = run_case(check, case)
+    return outcome.detail if outcome.status == "mismatch" else None
+
+
+def shrink_case(
+    check: Check,
+    case: FuzzCase,
+    detail: str,
+    max_attempts: int = 200,
+) -> ShrinkResult:
+    """Greedily minimise every integer parameter while the check still fails.
+
+    Parameters are visited round-robin until a full pass makes no progress
+    (or ``max_attempts`` check executions are spent -- shrinking is
+    best-effort, never the long pole of a fuzz run).  For each parameter
+    the shrinker first tries the floor outright, then binary-searches the
+    smallest still-failing value between floor and current.
+    """
+    current = case
+    attempts = 0
+    reductions = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for name in sorted(current.params):
+            floor = check.space.get(name, (0, 0, 1))[2]
+            value = current.params[name]
+            if value <= floor:
+                continue
+            # Try the floor first: most parameters are irrelevant to a
+            # given failure and collapse in one attempt.
+            lo, hi = floor, value  # invariant: hi fails, lo untested/passes
+            candidate = FuzzCase(
+                check=current.check,
+                seed=current.seed,
+                params={**current.params, name: lo},
+            )
+            attempts += 1
+            failed = _still_fails(check, candidate)
+            if failed is not None:
+                current, detail = candidate, failed
+                reductions += 1
+                progress = True
+                continue
+            # Binary search the boundary: smallest value in (lo, hi] that
+            # still fails.
+            while hi - lo > 1 and attempts < max_attempts:
+                mid = (lo + hi) // 2
+                candidate = FuzzCase(
+                    check=current.check,
+                    seed=current.seed,
+                    params={**current.params, name: mid},
+                )
+                attempts += 1
+                failed = _still_fails(check, candidate)
+                if failed is not None:
+                    hi, detail = mid, failed
+                else:
+                    lo = mid
+            if hi < value:
+                current = FuzzCase(
+                    check=current.check,
+                    seed=current.seed,
+                    params={**current.params, name: hi},
+                )
+                reductions += 1
+                progress = True
+    return ShrinkResult(
+        case=current, detail=detail, attempts=attempts, reductions=reductions
+    )
+
+
+def write_repro(
+    out_dir: "str | Path",
+    shrunk: ShrinkResult,
+    original: Optional[FuzzCase] = None,
+) -> Path:
+    """Write a self-contained repro directory; returns its path."""
+    case = shrunk.case
+    directory = Path(out_dir) / f"repro-{case.check}-{case.seed}"
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, object] = {
+        **case.to_dict(),
+        "detail": shrunk.detail,
+        "shrink": {
+            "attempts": shrunk.attempts,
+            "reductions": shrunk.reductions,
+            "original_params": dict(original.params) if original else None,
+        },
+        "replay": f"python -m repro fuzz --replay {directory / CASE_FILENAME}",
+    }
+    (directory / CASE_FILENAME).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    for filename, text in case_artifacts(case).items():
+        (directory / filename).write_text(text, encoding="utf-8")
+    return directory
+
+
+def load_case(path: "str | Path") -> FuzzCase:
+    """Load a case from a ``case.json`` file or a repro directory."""
+    location = Path(path)
+    if location.is_dir():
+        location = location / CASE_FILENAME
+    data = json.loads(location.read_text(encoding="utf-8"))
+    case = FuzzCase.from_dict(data)
+    if case.check not in CHECKS:
+        raise ValueError(
+            f"unknown check {case.check!r} in {location} "
+            f"(known: {', '.join(sorted(CHECKS))})"
+        )
+    return case

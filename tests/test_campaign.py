@@ -231,8 +231,14 @@ class TestStore:
         reloaded = ResultStore(tmp_path)
         assert reloaded.get("k1").ok
 
-    def test_corrupt_store_raises(self, tmp_path):
-        (tmp_path / "results.jsonl").write_text("{not json}\n")
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        """A bad line *followed by an intact record* is real corruption --
+        appends cannot damage earlier lines -- and must fail loudly."""
+        (tmp_path / "results.jsonl").write_text(
+            "{not json}\n"
+            '{"key": "k1", "job_id": "j", "circuit": "c", '
+            '"fingerprint": "f", "config": {}, "status": "ok"}\n'
+        )
         with pytest.raises(ValueError, match="corrupt result store"):
             ResultStore(tmp_path)
 
@@ -247,6 +253,7 @@ class TestStore:
         )
         store.put(StoredResult(key="k1", **base))
         store.put(StoredResult(key="k2", **base))
+        store.close()
         path = tmp_path / "results.jsonl"
         intact = path.read_text()
         with path.open("a", encoding="utf-8") as handle:
@@ -273,6 +280,7 @@ class TestStore:
             config=tiny_config.to_dict(), status="ok", summary={},
         )
         store.put(StoredResult(key="k1", **base))
+        store.close()
         path = tmp_path / "results.jsonl"
         path.write_bytes(path.read_bytes().rstrip(b"\n"))
         reloaded = ResultStore(tmp_path)
@@ -299,11 +307,97 @@ class TestStore:
         with pytest.raises(ValueError, match="corrupt result store"):
             ResultStore(tmp_path)
 
-    def test_complete_but_corrupt_final_line_still_raises(self, tmp_path):
-        """Only a *torn* (unterminated) final line is forgiven."""
-        (tmp_path / "results.jsonl").write_text("{bad json}\n")
-        with pytest.raises(ValueError, match="corrupt result store"):
-            ResultStore(tmp_path)
+    def test_corrupt_tail_spanning_records_is_repaired(self, tmp_path, tiny_config):
+        """Crash damage can mangle *several* trailing lines (torn page
+        writeback); the whole corrupt suffix is dropped and truncated so
+        resuming appends start on a clean boundary."""
+        store = ResultStore(tmp_path)
+        base = dict(
+            job_id="j", circuit="c", fingerprint="f",
+            config=tiny_config.to_dict(), status="ok", summary={},
+        )
+        for key in ("k1", "k2"):
+            store.put(StoredResult(key=key, **base))
+        store.close()
+        path = tmp_path / "results.jsonl"
+        intact = path.read_text()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{bad json}\n")
+            handle.write('{"key": "k3", "job_id": "truncat')
+        with pytest.warns(RuntimeWarning, match="2 torn trailing line"):
+            reloaded = ResultStore(tmp_path)
+        assert {r.key for r in reloaded.records()} == {"k1", "k2"}
+        assert path.read_text() == intact
+        reloaded.put(StoredResult(key="k3", **base))
+        reloaded.close()
+        assert len(ResultStore(tmp_path)) == 3
+
+    def test_read_only_store_never_repairs_on_disk(self, tmp_path, tiny_config):
+        store = ResultStore(tmp_path)
+        store.put(StoredResult(
+            key="k1", job_id="j", circuit="c", fingerprint="f",
+            config=tiny_config.to_dict(), status="ok", summary={},
+        ))
+        store.close()
+        path = tmp_path / "results.jsonl"
+        damaged = path.read_text() + '{"key": "k2", "torn'
+        path.write_text(damaged)
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            reader = ResultStore(tmp_path, read_only=True)
+        assert {r.key for r in reader.records()} == {"k1"}
+        assert path.read_text() == damaged  # untouched on disk
+        with pytest.raises(RuntimeError, match="read-only"):
+            reader.put(StoredResult(
+                key="k3", job_id="j", circuit="c", fingerprint="f",
+                config=tiny_config.to_dict(), status="ok", summary={},
+            ))
+
+    def test_second_writer_is_refused_with_holder_pid(self, tmp_path, tiny_config):
+        import os as os_mod
+
+        from repro.campaign.store import StoreLockedError
+
+        base = dict(
+            job_id="j", circuit="c", fingerprint="f",
+            config=tiny_config.to_dict(), status="ok", summary={},
+        )
+        writer = ResultStore(tmp_path)
+        writer.put(StoredResult(key="k1", **base))
+        # Readers are always fine against a live writer.
+        reader = ResultStore(tmp_path, read_only=True)
+        assert reader.completed("k1")
+        assert reader.writer_pid() == os_mod.getpid()
+        # A second writer fails fast, naming the holder.
+        second = ResultStore(tmp_path)
+        with pytest.raises(StoreLockedError, match=str(os_mod.getpid())):
+            second.put(StoredResult(key="k2", **base))
+        writer.close()
+        # Once the holder releases, the second writer proceeds.
+        second.put(StoredResult(key="k2", **base))
+        second.close()
+        assert len(ResultStore(tmp_path)) == 2
+
+    def test_stale_lock_from_dead_pid_is_taken_over(self, tmp_path, tiny_config):
+        """An flock dies with its holder, so a lock file left by a crashed
+        writer must not block -- but the takeover is surfaced."""
+        from repro.campaign.store import LOCK_FILENAME
+
+        # A pid that cannot be running: fork a child that exits at once.
+        import os as os_mod
+
+        child = os_mod.fork()
+        if child == 0:
+            os_mod._exit(0)
+        os_mod.waitpid(child, 0)
+        (tmp_path / LOCK_FILENAME).write_text(f"{child}\n")
+        store = ResultStore(tmp_path)
+        with pytest.warns(RuntimeWarning, match=f"dead.*{child}"):
+            store.put(StoredResult(
+                key="k1", job_id="j", circuit="c", fingerprint="f",
+                config=tiny_config.to_dict(), status="ok", summary={},
+            ))
+        store.close()
+        assert ResultStore(tmp_path).completed("k1")
 
     def test_stage_timings_and_cache_stats_round_trip(self, tmp_path, tiny_config):
         store = ResultStore(tmp_path)
@@ -578,6 +672,125 @@ class TestRunner:
         )
         with pytest.raises(ValueError):
             CampaignRunner(spec, ResultStore(tmp_path), jobs=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(spec, ResultStore(tmp_path / "b"), max_retries=-1)
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="needs fork to patch the worker"
+    )
+    def test_sigkilled_worker_is_respawned_and_loses_nothing(
+        self, tmp_path, cube_file, monkeypatch
+    ):
+        """A worker SIGKILLed mid-job is detected by exit code; its chunk
+        is requeued on a fresh worker and the campaign completes with
+        every job ok, exactly one record per job."""
+        import signal as signal_mod
+
+        import repro.campaign.runner as runner_mod
+
+        real_compress = runner_mod.compress
+        marker = tmp_path / "killed-once"
+
+        def killing_compress(test_set, config, **kwargs):
+            if config.speedup == 6:
+                try:
+                    marker.touch(exist_ok=False)
+                except FileExistsError:
+                    pass  # retry of the blamed job: run it for real now
+                else:
+                    os.kill(os.getpid(), signal_mod.SIGKILL)
+            return real_compress(test_set, config, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "compress", killing_compress)
+        spec = CampaignSpec(
+            name="crashy",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8, lfsr_size=16),
+            axes={"speedup": [3, 6, 12, 24]},
+        )
+        store = ResultStore(tmp_path / "store")
+        result = CampaignRunner(
+            spec, store, jobs=2, max_retries=3, retry_backoff_s=0.05
+        ).run()
+        store.close()
+        assert marker.exists()  # the kill really happened
+        assert result.num_computed == 4
+        assert result.num_failed == 0
+        assert result.total_retries >= 1
+        by_speedup = {
+            outcome.job.config.speedup: outcome for outcome in result.outcomes
+        }
+        assert by_speedup[6].retried >= 1  # the blamed job knows it crashed
+        assert not by_speedup[6].exhausted
+        # one store line per job: nothing lost, nothing duplicated
+        lines = [
+            json.loads(line)
+            for line in store.path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert sorted(line["key"] for line in lines) == sorted(
+            outcome.key for outcome in result.outcomes
+        )
+        crashed_record = next(
+            line for line in lines
+            if line["key"] == by_speedup[6].key
+        )
+        assert crashed_record["retried"] >= 1
+        assert crashed_record["exhausted"] is False
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="needs fork to patch the worker"
+    )
+    def test_poison_job_exhausts_without_dragging_down_its_chunk(
+        self, tmp_path, cube_file, monkeypatch
+    ):
+        """A job that kills its worker on every attempt is given up on
+        after max_retries blames -- recorded as error/exhausted with text
+        distinguishing it from the never-attempted jobs, which are
+        requeued and still complete ok."""
+        import signal as signal_mod
+
+        import repro.campaign.runner as runner_mod
+
+        real_compress = runner_mod.compress
+
+        def poison_compress(test_set, config, **kwargs):
+            if config.speedup == 3:  # first job of the chunk, every time
+                os.kill(os.getpid(), signal_mod.SIGKILL)
+            return real_compress(test_set, config, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "compress", poison_compress)
+        spec = CampaignSpec(
+            name="poison",
+            sources=(TestSource(tests=str(cube_file)),),
+            base=CompressionConfig(window_length=20, num_scan_chains=8, lfsr_size=16),
+            axes={"speedup": [3, 6, 12, 24]},
+        )
+        store = ResultStore(tmp_path / "store")
+        # 2 workers split the group into [3, 6] and [12, 24]: the poison
+        # job shares its chunk with speedup-6, which must survive.
+        result = CampaignRunner(
+            spec, store, jobs=2, max_retries=1, retry_backoff_s=0.05
+        ).run()
+        store.close()
+        by_speedup = {
+            outcome.job.config.speedup: outcome for outcome in result.outcomes
+        }
+        poisoned = by_speedup[3]
+        assert poisoned.status == "error"
+        assert poisoned.exhausted
+        assert poisoned.retried == 1  # blamed twice, max_retries=1
+        assert "while running this job" in poisoned.error
+        assert "never attempted" in poisoned.error  # the survivors were not failed
+        for speedup in (6, 12, 24):
+            assert by_speedup[speedup].status == "ok"
+            assert not by_speedup[speedup].exhausted
+        # the exhausted record is persisted with its accounting
+        record = store.get(poisoned.key) or ResultStore(
+            tmp_path / "store", read_only=True
+        ).get(poisoned.key)
+        assert record.status == "error"
+        assert record.exhausted is True
 
 
 # ----------------------------------------------------------------------
@@ -654,6 +867,61 @@ class TestCampaignCommand:
     def test_cli_campaign_requires_sources(self):
         with pytest.raises(SystemExit):
             main(["campaign", "--windows", "20"])
+
+    def test_cli_campaign_ctrl_c_exits_130_with_persisted_summary(
+        self, tmp_path, cube_file, monkeypatch, capsys
+    ):
+        """Ctrl-C mid-campaign: the store keeps the streamed results, the
+        lock is released, and the CLI reports what survived + exits 130."""
+        import repro.campaign.runner as runner_mod
+
+        real_compress = runner_mod.compress
+        calls = []
+
+        def interrupted_compress(test_set, config, **kwargs):
+            if calls:  # first job completes, the second is interrupted
+                raise KeyboardInterrupt
+            calls.append(config.speedup)
+            return real_compress(test_set, config, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "compress", interrupted_compress)
+        store_dir = tmp_path / "store"
+        code = main([
+            "campaign",
+            "--tests", str(cube_file),
+            "--chains", "8",
+            "--windows", "20",
+            "--segments", "4",
+            "--speedups", "3", "6",
+            "--jobs", "1",
+            "--store", str(store_dir),
+        ])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted: 1 result(s) persisted" in captured.err
+        assert "--resume" in captured.err
+        # the persisted job resumes as cached, the interrupted one reruns
+        monkeypatch.setattr(runner_mod, "compress", real_compress)
+        reopened = ResultStore(store_dir)  # the lock was released cleanly
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_cli_campaign_refuses_locked_store(
+        self, tmp_path, cube_file, capsys
+    ):
+        locked = ResultStore(tmp_path / "store")
+        locked.lock()
+        with pytest.raises(SystemExit, match="already being written"):
+            main([
+                "campaign",
+                "--tests", str(cube_file),
+                "--chains", "8",
+                "--windows", "20",
+                "--segments", "4",
+                "--speedups", "3",
+                "--store", str(tmp_path / "store"),
+            ])
+        locked.close()
 
     def test_cli_campaign_spec_file(self, tmp_path, cube_file, capsys):
         data = {

@@ -498,6 +498,7 @@ class TestStoreHandle:
     def test_reload_sees_other_writers(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(_record("a"))
+        store.close()  # hand the writer lock over; the index stays loaded
         other = ResultStore(tmp_path)
         other.put(_record("b"))
         other.close()
