@@ -21,11 +21,13 @@ redundant faults.
 Three engines drive the loop:
 
 * the default **event-driven** engine keeps one persistent packed
-  good+faulty state per targeted fault
-  (:class:`~repro.circuits.ternary.TernaryEventEngine`): each decision
-  assigns one primary input and re-evaluates only that input's fanout cone
-  through a levelized event queue, and each backtrack rewinds an undo log
-  -- O(changed cone) per decision node instead of O(netlist);
+  good+faulty state per :class:`PodemAtpg`
+  (:class:`~repro.circuits.ternary.TernaryEventEngine`): each targeted
+  fault re-forces its overlay onto the live baseline and releases it when
+  done (no per-fault rebuild), each decision assigns one primary input and
+  re-evaluates only that input's fanout cone through per-level bucket
+  queues, and each backtrack rewinds an undo log -- O(changed cone) per
+  decision node instead of O(netlist);
 * ``use_events=False`` selects the **packed full-pass** engine, which
   evaluates the good and the faulty machine together in one
   2-bit-per-net pass of the two-word ternary core
@@ -129,6 +131,29 @@ class PodemAtpg:
             output: (inputs, inverting)
             for output, _op, inputs, inverting in self._plan.rows
         }
+        # One event engine serves every targeted fault: after each fault the
+        # undo log rewinds it to the empty-assignment checkpoint and the
+        # next fault's overlay is re-forced (see _event_engine), so the two
+        # state lists and the full baseline evaluation are built once per
+        # PodemAtpg instead of once per fault.  The difference set and the
+        # D-frontier bookkeeping below persist with it: ``_diff`` holds the
+        # nets carrying the fault difference, ``_diff_in_count[row]`` counts
+        # a row's distinct difference inputs, and ``_frontier_rows`` holds
+        # the rows where that count is positive -- all maintained from the
+        # same touched-net lists, and all provably empty/zero again once the
+        # engine is rewound (the empty-assignment baseline has no known
+        # net, hence no difference).
+        self._engine: Optional[TernaryEventEngine] = None
+        self._diff: Set[int] = set()
+        self._diff_in_count: List[int] = [0] * len(self._plan.rows)
+        self._frontier_rows: Set[int] = set()
+        # Primary outputs currently in the difference set, maintained in
+        # _sync_state so the detected check is one truthiness test instead
+        # of a scan over every output per decision node.
+        self._diff_outputs: Set[int] = set()
+        self._is_output = bytearray(self._plan.num_nets)
+        for index in self._plan.output_indices:
+            self._is_output[index] = 1
 
     # ------------------------------------------------------------------
     # Public API
@@ -146,18 +171,25 @@ class PodemAtpg:
         # collected only while a live recorder is installed.
         self._frontier_sizes = [] if get_recorder().enabled else None
         self._engine_events = 0
+        self._engine_passes = 0
         self._engine_undo_depth = 0
+        self._engine_reused = False
         if self._use_packed and self._use_events:
-            engine = self._event_engine(fault)
+            engine, token = self._event_engine(fault)
+            events_before = engine.events_processed
+            passes_before = engine.propagate_passes
             values, cares = engine.values, engine.cares
-            diff = {
-                net
-                for net in range(self._plan.num_nets)
-                if cares[net] & _BOTH == _BOTH
-                and (values[net] ^ (values[net] >> 1)) & 1
-            }
-            found = self._podem_events(fault, assignment, engine, diff)
-            self._engine_events = engine.events_processed
+            # The engine was rewound to the empty-assignment baseline (no
+            # known net, so no difference) before the overlay was re-forced;
+            # syncing the nets the overlay touched rebuilds the difference
+            # set and frontier without the old full-netlist scan.
+            self._sync_state(values, cares, engine.changed_entries(token))
+            try:
+                found = self._podem_events(fault, assignment, engine)
+            finally:
+                self._sync_entries(engine.release_force(token))
+            self._engine_events = engine.events_processed - events_before
+            self._engine_passes = engine.propagate_passes - passes_before
             self._engine_undo_depth = engine.max_undo_depth
         elif self._use_packed:
             found = self._podem_packed(fault, assignment)
@@ -284,8 +316,15 @@ class PodemAtpg:
         recorder.counter("atpg.faults_targeted")
         recorder.counter("atpg.decisions", self._decisions)
         recorder.counter("atpg.backtracks", self._backtracks)
+        if self._engine_reused:
+            recorder.counter("atpg.engine_reuses")
         if self._engine_events:
             recorder.counter("atpg.events_processed", self._engine_events)
+        if self._engine_passes:
+            recorder.counter("atpg.propagate_passes", self._engine_passes)
+            recorder.observe(
+                "atpg.events_per_pass", self._engine_events // self._engine_passes
+            )
         if self._engine_undo_depth:
             recorder.observe("atpg.undo_depth", self._engine_undo_depth)
         if self._frontier_sizes:
@@ -605,45 +644,60 @@ class PodemAtpg:
     # ------------------------------------------------------------------
     # PODEM internals -- event-driven engine (packed + incremental)
     # ------------------------------------------------------------------
-    def _event_engine(self, fault: StuckAtFault) -> TernaryEventEngine:
-        """A persistent dual-machine state seeded with the fault overlay."""
+    def _event_engine(self, fault: StuckAtFault) -> Tuple[TernaryEventEngine, int]:
+        """The persistent dual-machine engine, re-forced for ``fault``.
+
+        The engine is built once per :class:`PodemAtpg` (at the
+        empty-assignment baseline, no overlay) and reused for every
+        targeted fault: each call installs the fault's overlay with
+        :meth:`~TernaryEventEngine.reforce` and returns the undo token
+        that :meth:`generate_cube` hands back to
+        :meth:`~TernaryEventEngine.release_force` when the fault is done.
+        """
         plan = self._plan
-        return TernaryEventEngine(
-            plan,
-            _BOTH,
-            force_index=plan.index[fault.net],
-            force_mask=_FAULTY,
-            force_value=_FAULTY if fault.stuck_value else 0,
+        engine = self._engine
+        if engine is None:
+            engine = self._engine = TernaryEventEngine(plan, _BOTH)
+        else:
+            self._engine_reused = True
+        # The undo log is empty here (every fault releases back to the
+        # baseline), so the per-fault watermark restarts from zero.
+        engine.max_undo_depth = 0
+        token = engine.reforce(
+            plan.index[fault.net],
+            _FAULTY,
+            _FAULTY if fault.stuck_value else 0,
         )
+        return engine, token
 
     def _podem_events(
         self,
         fault: StuckAtFault,
         assignment: Dict[str, int],
         engine: TernaryEventEngine,
-        diff: Set[int],
     ) -> bool:
         """The same decision tree as :meth:`_podem_packed`, incrementally.
 
         The packed engine re-simulated the whole netlist once per decision
         node; here the engine state persists across the recursion, every
         input assignment updates only that input's fanout cone through the
-        levelized event queue, and backtracking rewinds the undo log --
-        O(changed cone) per decision instead of O(netlist).  ``diff`` is the
-        set of nets currently carrying the fault difference, kept in sync
-        from the nets each update touched, so the X-path check and the
-        D-frontier test read it instead of rescanning every net.  The
-        status check, objective search and backtrace read the same
-        two-word state, so all three engines take identical decisions node
-        for node.
+        per-level bucket queues, and backtracking rewinds the undo log --
+        O(changed cone) per decision instead of O(netlist).  ``_diff`` (the
+        nets currently carrying the fault difference) and ``_frontier_rows``
+        (the rows reading at least one of them) are kept in sync from the
+        nets each update touched, so the X-path check reads the set and the
+        objective search reads a maintained D-frontier instead of rescanning
+        every net or plan row.  The status check, objective search and
+        backtrace read the same two-word state, so all three engines take
+        identical decisions node for node.
         """
         values, cares = engine.values, engine.cares
-        status = self._evaluate_events(fault, values, cares, diff)
+        status = self._evaluate_events(fault, values, cares, self._diff)
         if status == "detected":
             return True
         if status == "impossible":
             return False
-        objective = self._objective_events(fault, values, cares, diff)
+        objective = self._objective_events(fault, values, cares)
         if objective is None:
             return False
         pi, value = self._backtrace_packed(objective, cares)
@@ -652,10 +706,10 @@ class PodemAtpg:
             assignment[pi] = candidate
             self._decisions += 1
             token = engine.assign(pi_index, candidate)
-            self._sync_diff(values, cares, engine.changed_indices(token), diff)
-            if self._podem_events(fault, assignment, engine, diff):
+            self._sync_state(values, cares, engine.changed_entries(token))
+            if self._podem_events(fault, assignment, engine):
                 return True
-            self._sync_diff(values, cares, engine.undo(token), diff)
+            self._sync_entries(engine.rewind(token))
             self._backtracks += 1
             if self._backtracks >= self._backtrack_limit:
                 del assignment[pi]
@@ -663,18 +717,88 @@ class PodemAtpg:
         del assignment[pi]
         return False
 
-    @staticmethod
-    def _sync_diff(
-        values: List[int], cares: List[int], touched: List[int], diff: Set[int]
+    def _sync_state(
+        self,
+        values: List[int],
+        cares: List[int],
+        touched: List[Tuple[int, int, int]],
     ) -> None:
-        """Re-derive difference membership for the nets an update touched."""
-        for index in touched:
+        """Re-derive difference membership for the nets an update touched.
+
+        ``touched`` is the undo-log slice of the update (only its net
+        indices are read; the live words come from the state lists).  A net
+        entering or leaving the difference set bumps the distinct-
+        difference-input count of each plan row reading it (reader_rows
+        positions are distinct per net), and the row joins or leaves the
+        maintained D-frontier when that count crosses zero -- so frontier
+        upkeep costs nothing on the (overwhelmingly common) updates that
+        do not toggle difference membership.
+        """
+        diff = self._diff
+        counts = self._diff_in_count
+        frontier = self._frontier_rows
+        reader_rows = self._plan.reader_rows
+        is_output = self._is_output
+        diff_outputs = self._diff_outputs
+        for entry in touched:
+            index = entry[0]
             if cares[index] & _BOTH == _BOTH and (
                 values[index] ^ (values[index] >> 1)
             ) & 1:
-                diff.add(index)
-            else:
+                if index not in diff:
+                    diff.add(index)
+                    if is_output[index]:
+                        diff_outputs.add(index)
+                    for row in reader_rows[index]:
+                        count = counts[row] + 1
+                        counts[row] = count
+                        if count == 1:
+                            frontier.add(row)
+            elif index in diff:
                 diff.discard(index)
+                if is_output[index]:
+                    diff_outputs.discard(index)
+                for row in reader_rows[index]:
+                    count = counts[row] - 1
+                    counts[row] = count
+                    if not count:
+                        frontier.discard(row)
+
+    def _sync_entries(self, entries: List[Tuple[int, int, int]]) -> None:
+        """:meth:`_sync_state` over a rewound undo-log slice.
+
+        The restored words are read straight off the entries -- iterated in
+        reverse so, when an index was overwritten several times since the
+        rewind token, its earliest entry (the one actually left in the
+        state, see :meth:`TernaryEventEngine.rewind`) is processed last and
+        decides the final membership.
+        """
+        diff = self._diff
+        counts = self._diff_in_count
+        frontier = self._frontier_rows
+        reader_rows = self._plan.reader_rows
+        is_output = self._is_output
+        diff_outputs = self._diff_outputs
+        for index, value, care in reversed(entries):
+            if care & _BOTH == _BOTH and (value ^ (value >> 1)) & 1:
+                if index not in diff:
+                    diff.add(index)
+                    if is_output[index]:
+                        diff_outputs.add(index)
+                    for row in reader_rows[index]:
+                        count = counts[row] + 1
+                        counts[row] = count
+                        if count == 1:
+                            frontier.add(row)
+            elif index in diff:
+                diff.discard(index)
+                if is_output[index]:
+                    diff_outputs.discard(index)
+                for row in reader_rows[index]:
+                    count = counts[row] - 1
+                    counts[row] = count
+                    if not count:
+                        frontier.discard(row)
 
     # NOTE: the three *_events helpers below deliberately *restate* their
     # _*_packed counterparts (with set lookups replacing the recomputed
@@ -697,9 +821,11 @@ class PodemAtpg:
             fault.stuck_value & _GOOD
         ):
             return "impossible"
-        for output in plan.output_indices:
-            if output in diff:
-                return "detected"
+        if self._diff_outputs:
+            # Maintained alongside ``diff``: nonempty iff some primary
+            # output carries the difference -- the per-output scan this
+            # replaces returned "detected" under exactly that condition.
+            return "detected"
         if not self._x_path_exists_events(values, cares, diff):
             return "impossible"
         return "undetermined"
@@ -707,57 +833,68 @@ class PodemAtpg:
     def _x_path_exists_events(
         self, values: List[int], cares: List[int], diff: Set[int]
     ) -> bool:
-        """:meth:`_x_path_exists_packed` seeded from the difference set."""
+        """:meth:`_x_path_exists_packed` seeded from the difference set.
+
+        The walk returns as soon as it reaches a primary output: a net
+        is in the full walk's reachable set iff the walk would pop it
+        eventually, so the early exit answers exactly the final
+        ``any(output reachable)`` of the full-pass reference.
+        """
         if not diff:
             # The fault is not activated yet; propagation cannot be ruled out.
             return True
         plan = self._plan
         fanout = plan.fanout
+        is_output = self._is_output
         reachable: Set[int] = set()
         stack = list(diff)
         while stack:
             net = stack.pop()
             if net in reachable:
                 continue
+            if is_output[net]:
+                return True
             reachable.add(net)
             for successor in fanout[net]:
                 if cares[successor] & _BOTH != _BOTH or successor in diff:
                     stack.append(successor)
-        return any(net in reachable for net in plan.output_indices)
+        return False
 
     def _objective_events(
         self,
         fault: StuckAtFault,
         values: List[int],
         cares: List[int],
-        diff: Set[int],
     ) -> Optional[Tuple[int, int]]:
-        """:meth:`_objective_packed` with the maintained difference set."""
+        """:meth:`_objective_packed` read off the maintained D-frontier.
+
+        ``_frontier_rows`` holds exactly the rows with a difference-carrying
+        input, so walking it in ascending plan order and skipping rows whose
+        output is already known on both machines visits the same candidate
+        gates, in the same order, as the full plan scan it replaced --
+        the returned objective is bit-identical.
+        """
         plan = self._plan
         fault_index = plan.index[fault.net]
         if not cares[fault_index] & _GOOD:
             return (fault_index, 1 - fault.stuck_value)
+        rows = plan.rows
+        frontier = sorted(self._frontier_rows)
         if self._frontier_sizes is not None:
-            # Recorder installed: histogram the full D-frontier size.  The
-            # search loop below early-returns at the first frontier gate, so
-            # the complete count needs this extra (trace-only) scan.
+            # Recorder installed: histogram the D-frontier size (candidate
+            # rows whose output is still unknown).  The search loop below
+            # early-returns at the first frontier gate, so the complete
+            # count needs this extra (trace-only) scan.
             self._frontier_sizes.append(
                 sum(
                     1
-                    for output, _op, inputs, _inv in plan.rows
-                    if cares[output] & _BOTH != _BOTH
-                    and any(src in diff for src in inputs)
+                    for position in frontier
+                    if cares[rows[position][0]] & _BOTH != _BOTH
                 )
             )
-        for output, op, inputs, _inverting in plan.rows:
+        for position in frontier:
+            output, op, inputs, _inverting = rows[position]
             if cares[output] & _BOTH == _BOTH:
-                continue
-            carries_difference = False
-            for src in inputs:
-                if src in diff:
-                    carries_difference = True
-                    break
-            if not carries_difference:
                 continue
             non_controlling = 1 if op == OP_AND else 0
             for src in inputs:

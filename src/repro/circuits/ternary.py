@@ -45,14 +45,13 @@ loops run on flat lists instead of name dictionaries.
 Besides the two batch evaluators (:func:`eval_binary`, :func:`eval_ternary`)
 the module provides :class:`TernaryEventEngine`: a persistent state that
 updates incrementally when one primary input changes, re-evaluating only the
-dirty fanout cone through a levelized event queue and recording every
+dirty fanout cone through per-level bucket queues and recording every
 overwrite in an undo log so a caller (PODEM's backtracking search) can
 rewind in O(changed cone).
 """
 
 from __future__ import annotations
 
-import heapq
 from weakref import WeakKeyDictionary
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -104,6 +103,96 @@ def evaluation_plan(netlist: Netlist) -> List[PlanRow]:
 #: Plan rows with integer net indices: ``(output, opcode, inputs, inverting)``.
 IndexedRow = Tuple[int, int, Tuple[int, ...], bool]
 
+#: Fused opcodes of :attr:`PackedPlan.fused_rows`: 2- and 3-input
+#: AND/OR/XOR (together the vast majority of gates in every netlist this
+#: package sees) and the 1-input buffer carry their operand indices inline,
+#: so the event engine's hot loop computes them with straight-line integer
+#: algebra instead of the generic reduce over an input tuple.  Gates with
+#: any other arity keep their generic opcode (``OP_AND``/``OP_OR``/
+#: ``OP_XOR``) and fall through to the reduce loop.
+_F_AND2, _F_OR2, _F_XOR2, _F_BUF = 4, 5, 6, 7
+_F_AND3, _F_OR3, _F_XOR3 = 8, 9, 10
+
+_FUSED_2IN = {OP_AND: _F_AND2, OP_OR: _F_OR2, OP_XOR: _F_XOR2}
+_FUSED_3IN = {OP_AND: _F_AND3, OP_OR: _F_OR3, OP_XOR: _F_XOR3}
+
+#: Lookup tables for 2-bit (``mask == 0b11``) engines, keyed by fused
+#: opcode and the row's ``inverting`` flag.  Every operand word of a
+#: 2-bit engine is one of 16 states ``(value << 2) | care``, so a whole
+#: row evaluates as two list indexings on a key built from shifted
+#: operand states -- no bit algebra, no opcode dispatch beyond arity,
+#: and the inversion folded into the table.  Shared process-wide; at
+#: most 14 table pairs of <= 4096 small ints each.
+_TABLE_CACHE: Dict[Tuple[int, bool], Tuple[List[int], List[int]]] = {}
+
+
+def _fused_tables(op: int, inverting: bool) -> Tuple[List[int], List[int]]:
+    cached = _TABLE_CACHE.get((op, inverting))
+    if cached is not None:
+        return cached
+    if op == _F_BUF:
+        size = 16
+    elif op in (_F_AND2, _F_OR2, _F_XOR2):
+        size = 256
+    else:
+        size = 4096
+    value_table = [0] * size
+    care_table = [0] * size
+    for key in range(size):
+        # Decode operand states; same row algebra as the inline fused
+        # arms of TernaryEventEngine._propagate, specialised to mask 3.
+        va, ca = (key >> 6) & 3, (key >> 4) & 3
+        vb, cb = (key >> 2) & 3, key & 3
+        if op == _F_BUF:
+            va, ca = (key >> 2) & 3, key & 3
+            value, care = va, ca
+        elif op == _F_AND2:
+            care = ((ca & ~va) | (cb & ~vb) | (va & vb)) & 3
+            value = va & vb & care
+        elif op == _F_OR2:
+            value = va | vb
+            care = (value | (ca & ~va & cb & ~vb)) & 3
+            value &= care
+        elif op == _F_XOR2:
+            care = ca & cb
+            value = (va ^ vb) & care
+        else:
+            va, ca = (key >> 10) & 3, (key >> 8) & 3
+            vb, cb = (key >> 6) & 3, (key >> 4) & 3
+            vc, cc = (key >> 2) & 3, key & 3
+            if op == _F_AND3:
+                care = (
+                    (ca & ~va) | (cb & ~vb) | (cc & ~vc) | (va & vb & vc)
+                ) & 3
+                value = va & vb & vc & care
+            elif op == _F_OR3:
+                value = va | vb | vc
+                care = (value | (ca & ~va & cb & ~vb & cc & ~vc)) & 3
+                value &= care
+            else:
+                care = ca & cb & cc
+                value = (va ^ vb ^ vc) & care
+        if inverting:
+            value = ~value & care
+        value_table[key] = value
+        care_table[key] = care
+    tables = (value_table, care_table)
+    _TABLE_CACHE[(op, inverting)] = tables
+    return tables
+
+#: Fused rows: ``(output, fused_op, a, b, c, inputs, inverting)``.
+#: ``a``/``b``/``c`` are the operand net indices of fused ops (unused
+#: trailing operands are -1) and all -1 for generic ops, which read
+#: ``inputs`` instead.
+FusedRow = Tuple[int, int, int, int, int, Tuple[int, ...], bool]
+
+#: Table rows: ``(output, arity, a, b, c, value_table, care_table)``.
+#: ``arity`` is 1/2/3 for table-evaluated rows and 0 for generic rows
+#: (arity > 3), which fall back to the fused-row reduce.
+TableRow = Tuple[
+    int, int, int, int, int, Optional[List[int]], Optional[List[int]]
+]
+
 
 class PackedPlan:
     """The compiled, integer-indexed evaluation plan of one netlist.
@@ -123,6 +212,10 @@ class PackedPlan:
         "output_indices",
         "fanout",
         "reader_rows",
+        "row_levels",
+        "num_levels",
+        "fused_rows",
+        "_table_rows",
     )
 
     def __init__(self, netlist: Netlist):
@@ -152,6 +245,79 @@ class PackedPlan:
         self.reader_rows: List[Tuple[int, ...]] = [
             tuple(positions) for positions in readers
         ]
+        # Topological levels: primary inputs are level 0, each gate output
+        # is one past its deepest input.  A row only ever reads nets of
+        # strictly lower levels, so the event engine can drain dense
+        # per-level buckets in level order instead of a heap.  The fused
+        # rows mirror ``rows`` with 2-input AND/OR/XOR and BUF remapped to
+        # inline-operand opcodes (see :data:`_F_AND2`).
+        levels = [0] * self.num_nets
+        row_levels: List[int] = []
+        fused: List[FusedRow] = []
+        for output, op, inputs, inverting in self.rows:
+            level = 1 + max(levels[net] for net in inputs)
+            levels[output] = level
+            row_levels.append(level)
+            if op == OP_BUF:
+                fused.append(
+                    (output, _F_BUF, inputs[0], -1, -1, inputs, inverting)
+                )
+            elif len(inputs) == 2:
+                fused.append(
+                    (
+                        output,
+                        _FUSED_2IN[op],
+                        inputs[0],
+                        inputs[1],
+                        -1,
+                        inputs,
+                        inverting,
+                    )
+                )
+            elif len(inputs) == 3:
+                fused.append(
+                    (
+                        output,
+                        _FUSED_3IN[op],
+                        inputs[0],
+                        inputs[1],
+                        inputs[2],
+                        inputs,
+                        inverting,
+                    )
+                )
+            else:
+                fused.append((output, op, -1, -1, -1, inputs, inverting))
+        self.row_levels: List[int] = row_levels
+        self.num_levels: int = (max(row_levels) + 1) if row_levels else 1
+        self.fused_rows: List[FusedRow] = fused
+        self._table_rows: Optional[List[TableRow]] = None
+
+    def table_rows(self) -> List[TableRow]:
+        """Lookup-table rows for 2-bit engines, built lazily per plan.
+
+        Only valid when the engine mask is ``0b11`` (the PODEM dual-word
+        encoding): each operand word is then one of 16 states, so rows
+        evaluate by indexing the shared :func:`_fused_tables` pair with a
+        key of shifted operand states.
+        """
+        trows = self._table_rows
+        if trows is None:
+            trows = []
+            for output, op, a, b, c, _inputs, inverting in self.fused_rows:
+                if op == _F_BUF:
+                    arity = 1
+                elif op in (_F_AND2, _F_OR2, _F_XOR2):
+                    arity = 2
+                elif op in (_F_AND3, _F_OR3, _F_XOR3):
+                    arity = 3
+                else:
+                    trows.append((output, 0, -1, -1, -1, None, None))
+                    continue
+                value_table, care_table = _fused_tables(op, inverting)
+                trows.append((output, arity, a, b, c, value_table, care_table))
+            self._table_rows = trows
+        return trows
 
 
 _PACKED_PLAN_CACHE: "WeakKeyDictionary[Netlist, PackedPlan]" = WeakKeyDictionary()
@@ -275,13 +441,21 @@ class TernaryEventEngine:
     Where :func:`eval_ternary` recomputes every gate of the plan,
     this engine keeps the two-word state alive between queries and, on each
     primary-input change, re-evaluates only the gates whose inputs actually
-    changed: a levelized event queue (a min-heap of plan-row positions)
-    walks the assigned input's fanout cone in topological order and stops
-    propagating wherever the recomputed ``(value, care)`` pair equals the
-    stored one.  Because rows are processed in ascending plan order, each
-    gate is evaluated at most once per update, and the resulting state is
-    identical to a from-scratch :func:`eval_ternary` pass over the same
-    inputs -- the golden-equivalence tests pin this.
+    changed: dirty plan rows are dropped into dense per-level bucket queues
+    (levels precomputed in :attr:`PackedPlan.row_levels`) and drained in
+    level order, which walks the assigned input's fanout cone topologically
+    without a single heap push/pop and stops propagating wherever the
+    recomputed ``(value, care)`` pair equals the stored one.  A row only
+    reads nets of strictly lower levels, so draining level ``L`` can only
+    enqueue rows at levels ``> L``: each gate is evaluated at most once per
+    update, and the resulting state is identical to a from-scratch
+    :func:`eval_ternary` pass over the same inputs -- the
+    golden-equivalence tests pin this.
+
+    The hot loop dispatches on :attr:`PackedPlan.fused_rows`: 2-input
+    AND/OR/XOR gates (the vast majority) and buffers are computed with
+    straight-line two-operand algebra; only wider gates fall through to the
+    generic reduce over the input tuple.
 
     Every overwritten word pair is pushed onto an **undo log**;
     :meth:`assign` returns the log position before the update, and
@@ -294,7 +468,11 @@ class TernaryEventEngine:
     evaluators: ``force_index`` is re-forced to ``(force_mask,
     force_value)`` whenever its net is re-evaluated (or re-assigned, for
     input sites), so a PODEM faulty machine stays poisoned across
-    incremental updates.
+    incremental updates.  Overlays can also be installed *after*
+    construction with :meth:`reforce` and dropped with
+    :meth:`release_force` -- both ride the undo log, so one engine can be
+    rewound to its empty-assignment checkpoint and re-forced for the next
+    targeted fault instead of being rebuilt from scratch.
     """
 
     __slots__ = (
@@ -306,7 +484,11 @@ class TernaryEventEngine:
         "force_mask",
         "force_value",
         "_undo",
+        "_buckets",
+        "_pending",
+        "_trows",
         "events_processed",
+        "propagate_passes",
         "max_undo_depth",
     )
 
@@ -325,10 +507,23 @@ class TernaryEventEngine:
         self.force_mask = force_mask
         self.force_value = force_value
         self._undo: List[Tuple[int, int, int]] = []
-        # Lifetime telemetry: rows popped off the event queue and the high
-        # watermark of the undo log.  Both are maintained with one integer
-        # update per assign/propagate, cheap enough to keep unconditional.
+        # Per-level bucket queues, reused across propagations; a row is in
+        # a bucket iff its ``_pending`` stamp equals the current pass
+        # number, so each row is queued at most once per pass and no
+        # per-row clearing is needed between passes.
+        self._buckets: List[List[int]] = [[] for _ in range(plan.num_levels)]
+        self._pending: List[int] = [0] * len(plan.rows)
+        # 2-bit engines (the PODEM dual-word encoding) evaluate rows via
+        # the shared state lookup tables instead of inline bit algebra.
+        self._trows: Optional[List[TableRow]] = (
+            plan.table_rows() if mask == 0b11 else None
+        )
+        # Lifetime telemetry: rows drained from the bucket queues, bucket
+        # passes run, and the high watermark of the undo log.  All are
+        # maintained with one integer update per assign/propagate, cheap
+        # enough to keep unconditional.
         self.events_processed = 0
+        self.propagate_passes = 0
         self.max_undo_depth = 0
         values = [0] * plan.num_nets
         cares = [0] * plan.num_nets
@@ -398,6 +593,14 @@ class TernaryEventEngine:
         """Net indices written since ``token`` (each at most once per assign)."""
         return [entry[0] for entry in self._undo[token:]]
 
+    def changed_entries(self, token: int) -> List[Tuple[int, int, int]]:
+        """The raw ``(index, value, care)`` log slice since ``token``.
+
+        Entries hold the *pre-change* words (the log records overwrites);
+        callers wanting the live words index the state lists.
+        """
+        return self._undo[token:]
+
     def undo(self, token: int) -> List[int]:
         """Rewind to a token returned by :meth:`assign`; returns the restored nets."""
         undo = self._undo
@@ -410,76 +613,307 @@ class TernaryEventEngine:
             restored.append(index)
         return restored
 
+    def rewind(self, token: int) -> List[Tuple[int, int, int]]:
+        """:meth:`undo`, returning the restored ``(index, value, care)`` log slice.
+
+        The slice is in log (chronological) order; entries are replayed
+        newest first, so when an index was overwritten several times since
+        the token its *earliest* entry is the one left in the state.  A
+        caller tracking derived per-net bookkeeping can read the restored
+        words straight off the entries (iterating the slice in reverse)
+        instead of re-indexing the state lists.
+        """
+        undo = self._undo
+        entries = undo[token:]
+        values, cares = self.values, self.cares
+        for index, value, care in reversed(entries):
+            values[index] = value
+            cares[index] = care
+        del undo[token:]
+        return entries
+
+    def reforce(self, force_index: int, force_mask: int, force_value: int) -> int:
+        """Install a stuck-at overlay on the live state; undoable.
+
+        Equivalent to constructing a fresh engine with the overlay on the
+        same assignment: the forced net's stored words get ``care |=
+        force_mask`` / the forced value bits, and the change (if any)
+        propagates through its fanout cone.  Returns an undo token for
+        :meth:`release_force`, which drops the overlay and rewinds -- the
+        pair is what lets PODEM keep one engine across targeted faults
+        instead of rebuilding two state lists plus a full evaluation each
+        time.
+        """
+        token = len(self._undo)
+        self.force_index = force_index
+        self.force_mask = force_mask
+        self.force_value = force_value
+        values, cares = self.values, self.cares
+        old_value = values[force_index]
+        old_care = cares[force_index]
+        care = old_care | force_mask
+        value = (old_value & ~force_mask) | (force_value & force_mask)
+        if old_care != care or old_value != value:
+            self._undo.append((force_index, old_value, old_care))
+            values[force_index] = value
+            cares[force_index] = care
+            self._propagate(self.plan.reader_rows[force_index])
+        if len(self._undo) > self.max_undo_depth:
+            self.max_undo_depth = len(self._undo)
+        return token
+
+    def release_force(self, token: int) -> List[Tuple[int, int, int]]:
+        """Drop the :meth:`reforce` overlay and rewind to its token.
+
+        Returns the restored log slice (see :meth:`rewind`).
+        """
+        self.force_index = -1
+        self.force_mask = 0
+        self.force_value = 0
+        return self.rewind(token)
+
     def _propagate(self, seed_rows: Sequence[int]) -> None:
-        """Re-evaluate the dirty fanout cone in ascending plan order."""
-        heap = list(seed_rows)
-        heapq.heapify(heap)
-        queued = set(heap)
+        """Re-evaluate the dirty fanout cone, one level bucket at a time."""
+        if self._trows is not None:
+            self._propagate_tables(seed_rows)
+            return
         plan = self.plan
-        rows = plan.rows
+        rows = plan.fused_rows
+        row_levels = plan.row_levels
         reader_rows = plan.reader_rows
+        buckets = self._buckets
+        pending = self._pending
         values, cares = self.values, self.cares
         mask = self.mask
         force_index = self.force_index
         undo = self._undo
-        push = heapq.heappush
-        pop = heapq.heappop
-        while heap:
-            # Pops come out ascending and pushes only ever target strictly
-            # larger positions, so a processed row can never be re-queued --
-            # ``queued`` needs additions only, no removal on pop.
-            position = pop(heap)
-            output, op, inputs, inverting = rows[position]
-            # Same row algebra as eval_ternary (kept in lockstep).
-            if op == OP_AND:
-                zero_any = 0
-                one_all = mask
-                for net in inputs:
-                    care = cares[net]
-                    value = values[net]
-                    zero_any |= care & ~value
-                    one_all &= value
-                care = (zero_any | one_all) & mask
-                value = one_all & care
-            elif op == OP_OR:
-                one_any = 0
-                zero_all = mask
-                for net in inputs:
-                    care = cares[net]
-                    value = values[net]
-                    one_any |= value
-                    zero_all &= care & ~value
-                care = (one_any | zero_all) & mask
-                value = one_any & care
-            elif op == OP_XOR:
-                care = mask
-                value = 0
-                for net in inputs:
-                    care &= cares[net]
-                    value ^= values[net]
-                value &= care
-            else:
-                care = cares[inputs[0]]
-                value = values[inputs[0]]
-            if inverting:
-                value = ~value & care
-            if output == force_index:
-                care |= self.force_mask
-                value = (value & ~self.force_mask) | (
-                    self.force_value & self.force_mask
-                )
-            if cares[output] == care and values[output] == value:
+        self.propagate_passes = stamp = self.propagate_passes + 1
+        lo = plan.num_levels
+        for position in seed_rows:
+            if pending[position] != stamp:
+                pending[position] = stamp
+                level = row_levels[position]
+                buckets[level].append(position)
+                if level < lo:
+                    lo = level
+        events = 0
+        for level in range(lo, plan.num_levels):
+            bucket = buckets[level]
+            if not bucket:
                 continue
-            undo.append((output, values[output], cares[output]))
-            values[output] = value
-            cares[output] = care
-            for reader in reader_rows[output]:
-                if reader not in queued:
-                    queued.add(reader)
-                    push(heap, reader)
-        # Every queued row is popped exactly once, so the queue's final size
-        # *is* the processed-event count -- no per-pop increment needed.
-        self.events_processed += len(queued)
+            # Draining level L only ever appends to buckets > L (a reader
+            # sits one past its deepest input), so iterating the bucket
+            # while higher ones grow is safe, and a drained row can never
+            # be re-queued within this pass.
+            for position in bucket:
+                output, op, a, b, c, inputs, inverting = rows[position]
+                # Same row algebra as eval_ternary (kept in lockstep),
+                # with the dominant 2-/3-input and BUF shapes fused to
+                # straight-line operand reads.
+                if op == _F_AND2:
+                    va = values[a]
+                    vb = values[b]
+                    care = ((cares[a] & ~va) | (cares[b] & ~vb) | (va & vb)) & mask
+                    value = va & vb & care
+                elif op == _F_OR2:
+                    va = values[a]
+                    vb = values[b]
+                    value = va | vb
+                    care = (value | (cares[a] & ~va & cares[b] & ~vb)) & mask
+                    value &= care
+                elif op == _F_AND3:
+                    va = values[a]
+                    vb = values[b]
+                    vc = values[c]
+                    care = (
+                        (cares[a] & ~va)
+                        | (cares[b] & ~vb)
+                        | (cares[c] & ~vc)
+                        | (va & vb & vc)
+                    ) & mask
+                    value = va & vb & vc & care
+                elif op == _F_OR3:
+                    va = values[a]
+                    vb = values[b]
+                    vc = values[c]
+                    value = va | vb | vc
+                    care = (
+                        value | (cares[a] & ~va & cares[b] & ~vb & cares[c] & ~vc)
+                    ) & mask
+                    value &= care
+                elif op == _F_BUF:
+                    care = cares[a]
+                    value = values[a]
+                elif op == _F_XOR2:
+                    care = cares[a] & cares[b]
+                    value = (values[a] ^ values[b]) & care
+                elif op == _F_XOR3:
+                    care = cares[a] & cares[b] & cares[c]
+                    value = (values[a] ^ values[b] ^ values[c]) & care
+                elif op == OP_AND:
+                    zero_any = 0
+                    one_all = mask
+                    for net in inputs:
+                        care = cares[net]
+                        value = values[net]
+                        zero_any |= care & ~value
+                        one_all &= value
+                    care = (zero_any | one_all) & mask
+                    value = one_all & care
+                elif op == OP_OR:
+                    one_any = 0
+                    zero_all = mask
+                    for net in inputs:
+                        care = cares[net]
+                        value = values[net]
+                        one_any |= value
+                        zero_all &= care & ~value
+                    care = (one_any | zero_all) & mask
+                    value = one_any & care
+                else:
+                    care = mask
+                    value = 0
+                    for net in inputs:
+                        care &= cares[net]
+                        value ^= values[net]
+                    value &= care
+                if inverting:
+                    value = ~value & care
+                if output == force_index:
+                    care |= self.force_mask
+                    value = (value & ~self.force_mask) | (
+                        self.force_value & self.force_mask
+                    )
+                old_care = cares[output]
+                old_value = values[output]
+                if old_care == care and old_value == value:
+                    continue
+                undo.append((output, old_value, old_care))
+                values[output] = value
+                cares[output] = care
+                for reader in reader_rows[output]:
+                    if pending[reader] != stamp:
+                        pending[reader] = stamp
+                        buckets[row_levels[reader]].append(reader)
+            # The bucket only ever shrinks to empty here (appends went to
+            # higher levels), so its length is the drained-event count.
+            events += len(bucket)
+            del bucket[:]
+        self.events_processed += events
+
+    def _propagate_tables(self, seed_rows: Sequence[int]) -> None:
+        """The 2-bit fast path of :meth:`_propagate`.
+
+        Identical bucket drain, but each row evaluates as two list
+        indexings into the precomputed state tables (inversion folded
+        in), keyed by the shifted 4-bit operand states.  Bit-identical
+        to the generic loop: the tables are built from the same row
+        algebra over every reachable operand state.
+        """
+        plan = self.plan
+        trows = self._trows
+        frows = plan.fused_rows
+        row_levels = plan.row_levels
+        reader_rows = plan.reader_rows
+        buckets = self._buckets
+        pending = self._pending
+        values, cares = self.values, self.cares
+        force_index = self.force_index
+        undo = self._undo
+        self.propagate_passes = stamp = self.propagate_passes + 1
+        lo = plan.num_levels
+        for position in seed_rows:
+            if pending[position] != stamp:
+                pending[position] = stamp
+                level = row_levels[position]
+                buckets[level].append(position)
+                if level < lo:
+                    lo = level
+        events = 0
+        for level in range(lo, plan.num_levels):
+            bucket = buckets[level]
+            if not bucket:
+                continue
+            for position in bucket:
+                output, arity, a, b, c, value_table, care_table = trows[
+                    position
+                ]
+                if arity == 2:
+                    key = (
+                        (values[a] << 6)
+                        | (cares[a] << 4)
+                        | (values[b] << 2)
+                        | cares[b]
+                    )
+                    value = value_table[key]
+                    care = care_table[key]
+                elif arity == 3:
+                    key = (
+                        (values[a] << 10)
+                        | (cares[a] << 8)
+                        | (values[b] << 6)
+                        | (cares[b] << 4)
+                        | (values[c] << 2)
+                        | cares[c]
+                    )
+                    value = value_table[key]
+                    care = care_table[key]
+                elif arity == 1:
+                    key = (values[a] << 2) | cares[a]
+                    value = value_table[key]
+                    care = care_table[key]
+                else:
+                    # Generic reduce for arity > 3, shared with the
+                    # non-table loop via the fused-row operand tuple.
+                    _out, op, _a, _b, _c, inputs, inverting = frows[position]
+                    if op == OP_AND:
+                        zero_any = 0
+                        one_all = 0b11
+                        for net in inputs:
+                            care = cares[net]
+                            value = values[net]
+                            zero_any |= care & ~value
+                            one_all &= value
+                        care = (zero_any | one_all) & 0b11
+                        value = one_all & care
+                    elif op == OP_OR:
+                        one_any = 0
+                        zero_all = 0b11
+                        for net in inputs:
+                            care = cares[net]
+                            value = values[net]
+                            one_any |= value
+                            zero_all &= care & ~value
+                        care = (one_any | zero_all) & 0b11
+                        value = one_any & care
+                    else:
+                        care = 0b11
+                        value = 0
+                        for net in inputs:
+                            care &= cares[net]
+                            value ^= values[net]
+                        value &= care
+                    if inverting:
+                        value = ~value & care
+                if output == force_index:
+                    care |= self.force_mask
+                    value = (value & ~self.force_mask) | (
+                        self.force_value & self.force_mask
+                    )
+                old_care = cares[output]
+                old_value = values[output]
+                if old_care == care and old_value == value:
+                    continue
+                undo.append((output, old_value, old_care))
+                values[output] = value
+                cares[output] = care
+                for reader in reader_rows[output]:
+                    if pending[reader] != stamp:
+                        pending[reader] = stamp
+                        buckets[row_levels[reader]].append(reader)
+            events += len(bucket)
+            del bucket[:]
+        self.events_processed += events
 
 
 # ----------------------------------------------------------------------

@@ -35,8 +35,9 @@ Two datapath models replay the schedule:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -143,6 +144,39 @@ class Decompressor:
         self._lfsr.set_mode(mode)
 
 
+#: Shared doubling ladders ``[M, M^2, M^4, ...]`` keyed by mode-matrix
+#: content -- effectively the substrate identity (a
+#: :class:`~repro.encoding.substrate.SubstrateKey` fixes the transition
+#: matrix; the skip parameter ``k`` fixes the skip-circuit matrix).  The
+#: lists are mutable and shared: :meth:`_BatchedDatapath.run` extends its
+#: ladder in place, so later :func:`simulate_decompression` calls over the
+#: same substrate start from every power already computed instead of
+#: rebuilding the ladder per call.  Bounded LRU.
+_POWERS_CACHE: "OrderedDict[Tuple[Tuple[int, ...], int], List[np.ndarray]]" = (
+    OrderedDict()
+)
+_POWERS_CACHE_SIZE = 8
+
+
+def _mode_ladder(matrix: GF2Matrix) -> List[np.ndarray]:
+    """The shared, extend-in-place doubling ladder of one mode matrix."""
+    from repro.encoding.equations import _matrix_to_numpy
+
+    key = (
+        tuple(matrix.row_mask(i) for i in range(matrix.nrows)),
+        matrix.ncols,
+    )
+    ladder = _POWERS_CACHE.get(key)
+    if ladder is None:
+        ladder = [_matrix_to_numpy(matrix).astype(np.float32)]
+        _POWERS_CACHE[key] = ladder
+        while len(_POWERS_CACHE) > _POWERS_CACHE_SIZE:
+            _POWERS_CACHE.popitem(last=False)
+    else:
+        _POWERS_CACHE.move_to_end(key)
+    return ladder
+
+
 class _BatchedDatapath:
     """Segment-batched numpy model of the State Skip datapath.
 
@@ -163,14 +197,13 @@ class _BatchedDatapath:
         self._chain_length = arch.chain_length
         self._num_chains = arch.num_chains
         # Mode matrices (float32 0/1 for the exact BLAS-backed products)
-        # and their doubling ladders M^(2^i), extended on demand.
+        # and their doubling ladders M^(2^i), extended on demand.  The
+        # ladders come from (and stay in) the shared substrate-keyed
+        # cache, so a fresh datapath per simulate_decompression call no
+        # longer recomputes powers an earlier call already built.
         self._powers = {
-            "normal": [_matrix_to_numpy(transition).astype(np.float32)],
-            "skip": [
-                _matrix_to_numpy(
-                    decompressor.lfsr.skip_circuit.matrix
-                ).astype(np.float32)
-            ],
+            "normal": _mode_ladder(transition),
+            "skip": _mode_ladder(decompressor.lfsr.skip_circuit.matrix),
         }
         self._phase = _matrix_to_numpy(decompressor.phase_shifter.matrix)[
             : self._num_chains

@@ -1,7 +1,8 @@
 """Differential oracle: every interchangeable engine pair, bit for bit.
 
-The repo accumulated five engine variants behind flags (packed vs dict
-simulation, event-driven vs full-pass PODEM, batched vs per-pattern drop
+The repo accumulated engine variants behind flags (packed vs dict
+simulation, the persistent bucket-queue event engine vs from-scratch
+evaluation, event-driven vs full-pass PODEM, batched vs per-pattern drop
 simulation, batched-trials vs scan GF(2) solving, numpy vs reference
 embedding matching, batched vs per-clock decompressor replay).  The golden
 tests pin each pair on a handful of fixed seeds; this module turns the same
@@ -208,6 +209,95 @@ def _check_podem_packed(case: FuzzCase) -> Optional[str]:
     return None
 
 
+def _check_event_propagate(case: FuzzCase) -> Optional[str]:
+    """Persistent bucket-queue event engine vs from-scratch evaluation.
+
+    Drives one :class:`~repro.circuits.ternary.TernaryEventEngine`
+    through a random walk of input assigns, undos and stuck-at overlay
+    ``reforce``/``release_force`` pairs -- the exact call pattern of the
+    persistent-engine PODEM fast path -- and checks the live state lists
+    against a fresh :func:`~repro.circuits.ternary.eval_ternary` after
+    every step.  Odd seeds use the 2-bit mask (the table-driven
+    propagation), even seeds a wider mask (the generic fused loop).
+    """
+    import random as _random
+
+    from repro.circuits import ternary as _ternary
+
+    netlist = case_netlist(case)
+    plan = _ternary.packed_plan(netlist)
+    rng = _random.Random(case.seed)
+    patterns = 2 if case.seed % 2 else rng.choice([1, 3, 5])
+    mask = (1 << patterns) - 1
+    engine = _ternary.TernaryEventEngine(plan, mask)
+    assignment: Dict[str, int] = {}
+    undo_stack: list = []
+    force = None  # (index, fmask, fvalue, token, saved assignment + stack)
+    for step in range(case.params["steps"]):
+        action = rng.random()
+        if action < 0.15 and force is None:
+            index = rng.randrange(plan.num_nets)
+            fmask = rng.randrange(1, mask + 1)
+            fvalue = rng.randrange(mask + 1) & fmask
+            token = engine.reforce(index, fmask, fvalue)
+            force = (index, fmask, fvalue, token, dict(assignment), undo_stack)
+            undo_stack = []
+        elif action < 0.3 and force is not None:
+            # Release rewinds past every assign made under the overlay
+            # (its token predates them), exactly like PODEM's per-fault
+            # cleanup -- restore the bookkeeping to the reforce point.
+            engine.release_force(force[3])
+            assignment, undo_stack = force[4], force[5]
+            force = None
+        elif action < 0.75 or not undo_stack:
+            net = rng.choice(netlist.inputs)
+            bit = rng.getrandbits(1)
+            undo_stack.append((net, assignment.get(net), engine.checkpoint()))
+            engine.assign(plan.index[net], bit)
+            assignment[net] = bit
+        else:
+            net, previous, token = undo_stack.pop()
+            engine.undo(token)
+            if previous is None:
+                assignment.pop(net, None)
+            else:
+                assignment[net] = previous
+        values, cares = _ternary.seed_ternary_inputs(plan, assignment, patterns)
+        gate_force, fmask, fvalue = -1, 0, 0
+        if force is not None:
+            index, fmask, fvalue = force[0], force[1], force[2]
+            if index < plan.num_inputs:
+                # Input-site overlay: applied to the seeded state (inputs
+                # have no plan row to force through).
+                cares[index] |= fmask
+                values[index] = (values[index] & ~fmask) | (fvalue & fmask)
+            else:
+                gate_force = index
+        _ternary.eval_ternary(
+            plan,
+            values,
+            cares,
+            mask,
+            force_index=gate_force,
+            force_mask=fmask,
+            force_value=fvalue,
+        )
+        if engine.values != values or engine.cares != cares:
+            diffs = sorted(
+                i
+                for i in range(plan.num_nets)
+                if engine.values[i] != values[i] or engine.cares[i] != cares[i]
+            )
+            i = diffs[0]
+            return (
+                f"step {step}: persistent event engine diverges from "
+                f"from-scratch evaluation on {len(diffs)} net(s), first "
+                f"{plan.nets[i]!r}: engine=({engine.values[i]}, "
+                f"{engine.cares[i]}) reference=({values[i]}, {cares[i]})"
+            )
+    return None
+
+
 def _check_drop_batch(case: FuzzCase) -> Optional[str]:
     """Batched drop simulation of a whole block vs the per-pattern loop."""
     netlist = case_netlist(case)
@@ -410,6 +500,18 @@ register(
         description="event-driven PODEM vs full-pass packed engine",
         space={"num_inputs": (6, 16, 2), "num_gates": (20, 90, 1)},
         run=_check_podem_events,
+    )
+)
+register(
+    Check(
+        name="event-propagate",
+        description="persistent bucket-queue event engine vs from-scratch eval",
+        space={
+            "num_inputs": (4, 14, 2),
+            "num_gates": (15, 110, 1),
+            "steps": (30, 140, 5),
+        },
+        run=_check_event_propagate,
     )
 )
 register(

@@ -388,7 +388,13 @@ def _atpg_timed(
     events: bool = True,
     batch: bool = True,
 ):
-    """Full PODEM run (generation + drop simulation); returns (wall, result)."""
+    """Full PODEM run (generation + drop simulation).
+
+    Returns ``(wall, (result, engine_stats))``; the stats dict carries the
+    persistent event engine's lifetime counters (empty on the reference
+    engines), so the bench report shows how many bucket-queue events and
+    propagation passes the run cost.
+    """
     from repro.circuits.atpg import PodemAtpg
     from repro.circuits.generator import random_netlist
 
@@ -398,7 +404,18 @@ def _atpg_timed(
     atpg = PodemAtpg(netlist, use_packed=packed, use_events=events)
     start = time.perf_counter()
     result = atpg.run(batch_fills=batch)
-    return time.perf_counter() - start, result
+    wall = time.perf_counter() - start
+    stats: Dict[str, object] = {}
+    engine = atpg._engine
+    if engine is not None:
+        stats = {
+            "engine_events": engine.events_processed,
+            "engine_passes": engine.propagate_passes,
+            "events_per_pass": round(
+                engine.events_processed / max(1, engine.propagate_passes), 2
+            ),
+        }
+    return wall, (result, stats)
 
 
 def _atpg_result_case(
@@ -409,6 +426,7 @@ def _atpg_result_case(
     result,
     ref_wall: float,
     ref_result,
+    engine_stats: Optional[Dict[str, object]] = None,
 ) -> KernelCase:
     """A KernelCase comparing two full AtpgResults bit for bit."""
     verified = (
@@ -418,6 +436,15 @@ def _atpg_result_case(
         and result.aborted == ref_result.aborted
         and result.total_faults == ref_result.total_faults
     )
+    detail: Dict[str, object] = {
+        "num_inputs": num_inputs,
+        "num_gates": num_gates,
+        "total_faults": result.total_faults,
+        "num_cubes": len(result.test_set.cubes),
+        "coverage_pct": round(result.effective_coverage_percent, 2),
+    }
+    if engine_stats:
+        detail.update(engine_stats)
     return KernelCase(
         name=name,
         wall_s=wall,
@@ -426,13 +453,7 @@ def _atpg_result_case(
         reference_wall_s=ref_wall,
         speedup=ref_wall / wall if wall > 0 else 0.0,
         verified=verified,
-        detail={
-            "num_inputs": num_inputs,
-            "num_gates": num_gates,
-            "total_faults": result.total_faults,
-            "num_cubes": len(result.test_set.cubes),
-            "coverage_pct": round(result.effective_coverage_percent, 2),
-        },
+        detail=detail,
     )
 
 
@@ -451,10 +472,10 @@ def bench_atpg(quick: bool = False, repeat: int = 2) -> KernelReport:
     mode = "quick" if quick else "full"
     cases: List[KernelCase] = []
     for name, num_inputs, num_gates in _ATPG_CASES[mode]:
-        wall, result = _best_of(
+        wall, (result, stats) = _best_of(
             repeat, lambda: _atpg_timed(num_inputs, num_gates, True)
         )
-        ref_wall, ref_result = _best_of(
+        ref_wall, (ref_result, _) = _best_of(
             repeat,
             lambda: _atpg_timed(
                 num_inputs, num_gates, False, events=False, batch=False
@@ -462,7 +483,14 @@ def bench_atpg(quick: bool = False, repeat: int = 2) -> KernelReport:
         )
         cases.append(
             _atpg_result_case(
-                name, num_inputs, num_gates, wall, result, ref_wall, ref_result
+                name,
+                num_inputs,
+                num_gates,
+                wall,
+                result,
+                ref_wall,
+                ref_result,
+                engine_stats=stats,
             )
         )
     return KernelReport(kernel="atpg", mode=mode, cases=cases)
@@ -487,10 +515,12 @@ _ATPG_EVENTS_CASES = {
 def bench_atpg_events(quick: bool = False, repeat: int = 2) -> KernelReport:
     """Measure event-driven PODEM + batched drops vs the full-pass engine.
 
-    Isolates this PR's step: the reference side is the *previous* default
-    (packed two-word core, full netlist re-evaluation per decision node,
-    one fault-simulation call per fill), the optimized side adds the
-    levelized event queue with the undo log and the word-packed fill
+    Isolates the event-engine steps: the reference side is the full-pass
+    packed engine (whole-netlist re-evaluation per decision node, one
+    fault-simulation call per fill), the optimized side adds the
+    per-level bucket queues with state-table row evaluation, the
+    incrementally maintained D-frontier, the persistent per-fault engine
+    (checkpoint rewind + overlay re-force) and the word-packed fill
     block.  The per-decision cost becomes proportional to the assigned
     input's fanout cone instead of the netlist, so the win grows with
     circuit size.
@@ -498,10 +528,10 @@ def bench_atpg_events(quick: bool = False, repeat: int = 2) -> KernelReport:
     mode = "quick" if quick else "full"
     cases: List[KernelCase] = []
     for name, num_inputs, num_gates in _ATPG_EVENTS_CASES[mode]:
-        wall, result = _best_of(
+        wall, (result, stats) = _best_of(
             repeat, lambda: _atpg_timed(num_inputs, num_gates, True)
         )
-        ref_wall, ref_result = _best_of(
+        ref_wall, (ref_result, _) = _best_of(
             repeat,
             lambda: _atpg_timed(
                 num_inputs, num_gates, True, events=False, batch=False
@@ -509,7 +539,14 @@ def bench_atpg_events(quick: bool = False, repeat: int = 2) -> KernelReport:
         )
         cases.append(
             _atpg_result_case(
-                name, num_inputs, num_gates, wall, result, ref_wall, ref_result
+                name,
+                num_inputs,
+                num_gates,
+                wall,
+                result,
+                ref_wall,
+                ref_result,
+                engine_stats=stats,
             )
         )
     return KernelReport(kernel="atpg-events", mode=mode, cases=cases)

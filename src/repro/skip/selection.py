@@ -129,8 +129,10 @@ def build_embedding_map(
     if num_seeds and cubes:
         flat = windows_packed.reshape(num_seeds * window_length, num_words)
         words = np.ascontiguousarray(flat.T)  # (W, P): word-major scan
-        cares = np.stack([cube.packed_words()[0] for cube in cubes])
-        values = np.stack([cube.packed_words()[1] for cube in cubes])
+        # Stacked once per test set and cached on it (fingerprint-keyed):
+        # repeated builds over one set -- the (S, k) sweep pattern -- skip
+        # the per-call np.stack over every cube.
+        cares, values = test_set.packed_matrices()
         num_positions = flat.shape[0]
         segment_starts = np.array(
             [segmentation.bounds(s)[0] for s in range(segmentation.num_segments)],

@@ -12,8 +12,11 @@ from __future__ import annotations
 
 import hashlib
 import statistics
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.testdata.cube import TestCube
 
@@ -46,6 +49,15 @@ class TestSet:
     #: Tell pytest this domain class is not a test-case class.
     __test__ = False
 
+    #: Shared cache of stacked packed matrices, keyed by
+    #: ``(fingerprint, num_cells)`` so re-parsed copies of one test set
+    #: (common across campaign configs) reuse one matrix pair.  Bounded
+    #: LRU; see :meth:`packed_matrices`.
+    _PACKED_MATRIX_CACHE: "OrderedDict[Tuple[str, int], Tuple[np.ndarray, np.ndarray]]" = (
+        OrderedDict()
+    )
+    _PACKED_MATRIX_CACHE_SIZE = 8
+
     def __init__(self, name: str, cubes: Sequence[TestCube]):
         if not cubes:
             raise ValueError("a test set needs at least one cube")
@@ -60,6 +72,8 @@ class TestSet:
         self._name = name
         self._cubes = list(cubes)
         self._num_cells = width
+        self._fingerprint: Optional[str] = None
+        self._packed_matrices: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -166,13 +180,54 @@ class TestSet:
         SHA-256 over the canonical text form, making it safe to use as a
         cache key across processes and interpreter runs -- the campaign
         result store keys every record by ``(fingerprint, config.cache_key())``.
+        Memoised: the instance is immutable, so the hash is computed once.
         """
-        digest = hashlib.sha256()
-        digest.update(f"{self._name}\n{self._num_cells}\n".encode("utf-8"))
-        for cube in self._cubes:
-            digest.update(cube.to_string().encode("ascii"))
-            digest.update(b"\n")
-        return digest.hexdigest()[:16]
+        fingerprint = self._fingerprint
+        if fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"{self._name}\n{self._num_cells}\n".encode("utf-8"))
+            for cube in self._cubes:
+                digest.update(cube.to_string().encode("ascii"))
+                digest.update(b"\n")
+            fingerprint = digest.hexdigest()[:16]
+            self._fingerprint = fingerprint
+        return fingerprint
+
+    def packed_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The stacked ``(cares, values)`` uint64 matrices of all cubes.
+
+        Row ``i`` is cube ``i``'s :meth:`TestCube.packed_words` pair, so
+        the embedding matcher's broadcast containment test reads the whole
+        test set as two ``(num_cubes, num_words)`` arrays without
+        re-stacking them per :func:`~repro.skip.selection.build_embedding_map`
+        call -- an (S, k) sweep builds many embedding maps over one test
+        set.  Cached on the instance and, keyed by ``(fingerprint,
+        num_cells)``, in a small class-level LRU shared across
+        equal-content instances.  The arrays are read-only; treat them as
+        immutable.
+        """
+        cached = self._packed_matrices
+        if cached is None:
+            key = (self.fingerprint(), self._num_cells)
+            cache = TestSet._PACKED_MATRIX_CACHE
+            cached = cache.get(key)
+            if cached is None:
+                cares = np.stack(
+                    [cube.packed_words()[0] for cube in self._cubes]
+                )
+                values = np.stack(
+                    [cube.packed_words()[1] for cube in self._cubes]
+                )
+                cares.setflags(write=False)
+                values.setflags(write=False)
+                cached = (cares, values)
+                cache[key] = cached
+                while len(cache) > TestSet._PACKED_MATRIX_CACHE_SIZE:
+                    cache.popitem(last=False)
+            else:
+                cache.move_to_end(key)
+            self._packed_matrices = cached
+        return cached
 
     def to_text(self) -> str:
         """Serialise as one cube string per line with a small header."""

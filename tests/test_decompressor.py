@@ -131,6 +131,47 @@ class TestModeSelect:
         assert costly.cost().gate_equivalents > cheap.cost().gate_equivalents
 
 
+class TestPowersCache:
+    def test_ladders_shared_across_datapaths(self, flow):
+        """Two datapaths over one substrate share one doubling ladder.
+
+        The ladder lists live in the module-level substrate-keyed cache
+        and are extended in place, so powers computed by one
+        simulate_decompression call are reused by the next.
+        """
+        from repro.decompressor import architecture as arch_mod
+
+        encoder, test_set, encoding, reduction = flow
+        def build():
+            decompressor = Decompressor(
+                encoder.lfsr.transition,
+                encoder.phase_shifter,
+                encoder.architecture,
+                reduction.config.speedup,
+            )
+            return arch_mod._BatchedDatapath(decompressor)
+
+        first = build()
+        second = build()
+        assert first._powers["normal"] is second._powers["normal"]
+        assert first._powers["skip"] is second._powers["skip"]
+        # run() extends the shared ladder in place; a later datapath
+        # starts from every power already computed.
+        before = len(first._powers["normal"])
+        first.load_seed(encoding.seeds[0].seed)
+        first.run(65, "normal")
+        extended = len(first._powers["normal"])
+        assert extended > before
+        assert len(build()._powers["normal"]) == extended
+
+    def test_cache_bounded(self, flow):
+        from repro.decompressor import architecture as arch_mod
+
+        assert (
+            len(arch_mod._POWERS_CACHE) <= arch_mod._POWERS_CACHE_SIZE
+        )
+
+
 class TestSimulation:
     def test_simulation_matches_reduction_accounting(self, flow):
         encoder, test_set, encoding, reduction = flow

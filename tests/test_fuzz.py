@@ -35,6 +35,7 @@ class TestRegistry:
     def test_every_engine_pair_has_a_check(self):
         assert set(differential_check_names()) == {
             "ternary-sim",
+            "event-propagate",
             "podem-events",
             "podem-packed",
             "drop-batch",

@@ -164,7 +164,9 @@ class TestEventEngineGolden:
         plan = atpg._plan
         faults = collapse_faults(netlist)
         for fault in rng.sample(faults, min(10, len(faults))):
-            engine = atpg._event_engine(fault)
+            # One persistent engine serves every fault: the overlay is
+            # re-forced on the rewound baseline and released afterwards.
+            engine, token = atpg._event_engine(fault)
             assignment = {}
             for _ in range(12):
                 net = rng.choice(netlist.inputs)
@@ -174,6 +176,87 @@ class TestEventEngineGolden:
                 values, cares = atpg._dual_state(fault, assignment)
                 assert engine.values == values
                 assert engine.cares == cares
+            # release_force rewinds past the assigns too (its token
+            # predates them), restoring the shared baseline.
+            engine.release_force(token)
+
+    @pytest.mark.parametrize("seed", [3, 4, 9, 16])
+    def test_reforce_release_random_walk_matches_reference(self, seed):
+        """assign/undo/reforce/release walks vs from-scratch evaluation.
+
+        Reuses the fuzz oracle's differential walk on fixed seeds: odd
+        seeds drive the 2-bit table propagation, even seeds the generic
+        fused loop, overlays included.
+        """
+        from repro.fuzz.generators import FuzzCase
+        from repro.fuzz.oracle import _check_event_propagate
+
+        case = FuzzCase(
+            check="event-propagate",
+            seed=seed,
+            params={"num_inputs": 10, "num_gates": 70, "steps": 110},
+        )
+        assert _check_event_propagate(case) is None
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_incremental_frontier_matches_full_scan(self, seed, monkeypatch):
+        """The maintained D-frontier vs a recomputation from the state.
+
+        At every objective call of a full event-driven run, the
+        incrementally maintained difference set, per-row difference-input
+        counts, frontier rows and difference outputs must equal what a
+        full scan over the live state lists derives.
+        """
+        from repro.circuits import atpg as atpg_mod
+
+        netlist = random_netlist(
+            f"frontier{seed}", num_inputs=14, num_gates=90, seed=seed
+        )
+        atpg = atpg_mod.PodemAtpg(netlist)
+        plan = atpg._plan
+        original = atpg_mod.PodemAtpg._objective_events
+        calls = []
+
+        def checked(self, fault, values, cares):
+            diff = {
+                i
+                for i in range(plan.num_nets)
+                if cares[i] & 0b11 == 0b11
+                and (values[i] ^ (values[i] >> 1)) & 1
+            }
+            assert self._diff == diff
+            assert self._diff_outputs == diff & set(plan.output_indices)
+            for position, (_out, _op, inputs, _inv) in enumerate(plan.rows):
+                count = sum(1 for net in set(inputs) if net in diff)
+                assert self._diff_in_count[position] == count
+                assert (position in self._frontier_rows) == (count > 0)
+            calls.append(1)
+            return original(self, fault, values, cares)
+
+        monkeypatch.setattr(atpg_mod.PodemAtpg, "_objective_events", checked)
+        atpg.run()
+        assert calls, "the run never reached an objective"
+
+    def test_engine_reuse_matches_fresh_engine_runs(self):
+        """One persistent engine over many faults vs a fresh one per fault.
+
+        The checkpoint-rewind reuse must leave PODEM's decision tree
+        untouched: identical cubes, decision counts and backtrack counts
+        as an engine built from scratch for each fault.
+        """
+        netlist = random_netlist("reuse44", num_inputs=12, num_gates=80, seed=44)
+        faults = collapse_faults(netlist)
+        shared = PodemAtpg(netlist)
+        reused = False
+        for fault in faults[:40]:
+            cube_shared = shared.generate_cube(fault)
+            reused = reused or shared._engine_reused
+            shared_stats = (shared._decisions, shared._backtracks)
+            fresh = PodemAtpg(netlist)
+            cube_fresh = fresh.generate_cube(fault)
+            assert cube_shared == cube_fresh
+            assert shared_stats == (fresh._decisions, fresh._backtracks)
+        assert reused, "the shared instance never reused its engine"
 
 
 def _assert_results_identical(left, right):

@@ -27,6 +27,39 @@ def small_set():
     )
 
 
+class TestPackedMatrices:
+    def test_matches_per_cube_stacking(self):
+        import numpy as np
+
+        ts = small_set()
+        cares, values = ts.packed_matrices()
+        assert cares.shape == (len(ts), 1)
+        for i, cube in enumerate(ts):
+            assert (cares[i] == cube.packed_words()[0]).all()
+            assert (values[i] == cube.packed_words()[1]).all()
+        assert not cares.flags.writeable
+        assert not values.flags.writeable
+
+    def test_cached_per_instance_and_across_equal_sets(self):
+        ts = small_set()
+        first = ts.packed_matrices()
+        assert ts.packed_matrices() is first
+        # A re-parsed copy (same name, cells and cubes -> same
+        # fingerprint) shares the exact same matrix pair via the
+        # class-level cache.
+        copy = TestSet.from_text(ts.to_text())
+        assert copy.fingerprint() == ts.fingerprint()
+        assert copy.packed_matrices() is first
+        # A different set gets its own pair.
+        other = TestSet("other", [TestCube.from_string("01XX")])
+        assert other.packed_matrices() is not first
+
+    def test_fingerprint_memoised(self):
+        ts = small_set()
+        assert ts.fingerprint() == ts.fingerprint()
+        assert ts._fingerprint is not None
+
+
 class TestTestSet:
     def test_basic_properties(self):
         ts = small_set()
