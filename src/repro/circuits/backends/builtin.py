@@ -1,0 +1,91 @@
+"""The three interpreter backends: ``reference``, ``packed`` and ``events``.
+
+All three run on the shared packed two-word core for block evaluation (the
+dict evaluator never had a pattern-parallel variant), and differ in the
+ternary evaluator, the per-fault propagation strategy and the PODEM engine
+they select:
+
+* ``reference`` -- the pre-packed-core behaviour: dict-based ternary
+  simulation and PODEM, dense full-circuit re-evaluation per fault,
+  per-pattern fill drops and the clock-by-clock decompressor replay.  Slow
+  by design; this is the golden path everything else is tested against.
+* ``packed`` -- the packed full-pass engines: two-word ternary evaluation
+  and the dual-machine PODEM full pass, still dense per-fault propagation.
+* ``events`` -- the default: incremental event-driven PODEM, fanout-cone
+  fault propagation with activation screening, batched fills and the
+  segment-batched decompressor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuits.backends.base import EngineBackend
+from repro.circuits.netlist import Netlist
+from repro.circuits.ternary import (
+    PackedPlan,
+    eval_binary,
+    eval_ternary,
+    packed_plan,
+    seed_ternary_inputs,
+    ternary_state_to_dict,
+)
+
+
+class _PackedCoreBackend(EngineBackend):
+    """Shared primitives of every interpreter backend (the packed core)."""
+
+    def simulate_ternary(
+        self, netlist: Netlist, input_values: Dict[str, Optional[int]]
+    ) -> Dict[str, Optional[int]]:
+        plan = packed_plan(netlist)
+        values, cares = seed_ternary_inputs(plan, input_values)
+        eval_ternary(plan, values, cares, 1)
+        return ternary_state_to_dict(plan, values, cares)
+
+    def eval_block(self, plan: PackedPlan, values: List[int], mask: int) -> None:
+        eval_binary(plan, values, mask)
+
+    def block_detector(self, simulator, good: Dict[str, int], mask: int):
+        return lambda fault: simulator._dense_diff(good, mask, fault)
+
+
+class ReferenceBackend(_PackedCoreBackend):
+    """Dict evaluators and dense propagation; the frozen golden path."""
+
+    name = "reference"
+    description = "dict-based ternary/PODEM reference, dense fault propagation"
+    podem_mode = "reference"
+    fills = "per-pattern"
+    batched_decompressor = False
+
+    def simulate_ternary(
+        self, netlist: Netlist, input_values: Dict[str, Optional[int]]
+    ) -> Dict[str, Optional[int]]:
+        # Function-level import: the simulator module dispatches through
+        # this registry, so the reference evaluator cannot be imported at
+        # module load without a cycle.
+        from repro.circuits.simulator import simulate_ternary_reference
+
+        return simulate_ternary_reference(netlist, input_values)
+
+
+class PackedBackend(_PackedCoreBackend):
+    """Packed full-pass engines with dense per-fault propagation."""
+
+    name = "packed"
+    description = "packed two-word full-pass engines, dense fault propagation"
+    podem_mode = "packed"
+    fills = "per-pattern"
+
+
+class EventsBackend(_PackedCoreBackend):
+    """Incremental event engines and cone propagation (the default)."""
+
+    name = "events"
+    description = "event-driven PODEM, fanout-cone fault propagation, batched fills"
+    podem_mode = "events"
+    fills = "batched"
+
+    def block_detector(self, simulator, good: Dict[str, int], mask: int):
+        return lambda fault: simulator._cone_diff(good, mask, fault)

@@ -1,0 +1,286 @@
+"""The ``compiled`` backend: per-netlist straight-line code generation.
+
+Every interpreter backend pays per-gate dispatch in its inner loop: a tuple
+unpack, an opcode branch and a reduce over the input tuple, per gate, per
+evaluation.  This backend removes all of it by *generating* a Python
+function for the netlist from its :class:`~repro.circuits.ternary.PackedPlan`
+-- one local variable per net, each gate a single fused word expression with
+the inversion folded in -- then ``compile()``/``exec()``-ing it once and
+calling the resulting code object thereafter.  The emitted algebra is the
+same 01X/binary algebra as :func:`~repro.circuits.ternary.eval_ternary` and
+:func:`~repro.circuits.ternary.eval_binary`, specialised per gate, so the
+results stay bit-identical (the conformance suite and the ``sim-compiled``/
+``faultsim-compiled`` fuzz checks pin this).
+
+Three functions are generated per netlist, each lazily:
+
+* a **binary full pass** (``V`` in place) for good-block evaluation,
+* a **binary fault diff** that seeds from the good block, overlays one
+  stuck-at site (``if fi == <idx>`` per gate -- one cheap compare against
+  the dozens of bytecodes the gate expression itself costs) and returns the
+  packed output-difference word directly, without materialising the faulty
+  state,
+* a **ternary full pass** (``V``/``C`` in place, fault overlay supported)
+  driving three-valued simulation and the PODEM full-pass dual machine.
+
+Compiled evaluators are cached in a bounded LRU keyed by
+:meth:`Netlist.fingerprint` (structure, not identity, so structurally equal
+instances share one compilation), mirroring the substrate/ladder caches.
+Everything is dependency-free stdlib codegen -- no numba, no Cython.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from repro.circuits.backends.base import EngineBackend
+from repro.circuits.netlist import Netlist
+from repro.circuits.ternary import (
+    OP_AND,
+    OP_OR,
+    OP_XOR,
+    PackedPlan,
+    packed_plan,
+    seed_ternary_inputs,
+    ternary_state_to_dict,
+)
+
+
+# ----------------------------------------------------------------------
+# Source generation
+# ----------------------------------------------------------------------
+def _binary_expr(op: int, inputs, inverting: bool) -> str:
+    """One gate as a single binary word expression over net locals."""
+    terms = [f"v{net}" for net in inputs]
+    if op == OP_AND:
+        expr = " & ".join(terms)
+    elif op == OP_OR:
+        expr = " | ".join(terms)
+    elif op == OP_XOR:
+        expr = " ^ ".join(terms)
+    else:  # BUF / NOT
+        expr = terms[0]
+    if inverting:
+        # Operands are masked, so only the complement needs re-masking.
+        return f"~({expr}) & mask"
+    return expr
+
+
+def gen_binary_full(plan: PackedPlan) -> str:
+    """Source of ``binary_full(V, mask)``: in-place fault-free block eval."""
+    lines = ["def binary_full(V, mask):"]
+    for i in range(plan.num_inputs):
+        lines.append(f"    v{i} = V[{i}]")
+    for output, op, inputs, inverting in plan.rows:
+        lines.append(f"    v{output} = {_binary_expr(op, inputs, inverting)}")
+    for output, _op, _inputs, _inverting in plan.rows:
+        lines.append(f"    V[{output}] = v{output}")
+    return "\n".join(lines)
+
+
+def gen_binary_diff(plan: PackedPlan) -> str:
+    """Source of ``binary_diff(V, mask, fi, fw)``: packed detection word.
+
+    ``V`` is the fault-free block (read only); the function re-evaluates
+    the circuit with net ``fi`` stuck at the word ``fw`` and returns the
+    OR of the output differences -- the fault simulator's detection word --
+    without writing the faulty state anywhere.
+    """
+    lines = ["def binary_diff(V, mask, fi, fw):"]
+    for i in range(plan.num_inputs):
+        lines.append(f"    v{i} = fw if fi == {i} else V[{i}]")
+    for output, op, inputs, inverting in plan.rows:
+        lines.append(f"    v{output} = {_binary_expr(op, inputs, inverting)}")
+        lines.append(f"    if fi == {output}: v{output} = fw")
+    terms = " | ".join(f"(v{o} ^ V[{o}])" for o in plan.output_indices)
+    lines.append(f"    return ({terms}) & mask")
+    return "\n".join(lines)
+
+
+def gen_ternary_full(plan: PackedPlan) -> str:
+    """Source of ``ternary_full(V, C, mask, fi, fm, fv)``: in-place 01X eval.
+
+    Emits the exact pessimistic 01X algebra of ``eval_ternary`` per gate
+    shape, with the inversion folded into the value expression and the
+    stuck-at overlay as one compare per gate (input-site overlays are the
+    caller's job, as with every evaluator of the package).
+    """
+    lines = ["def ternary_full(V, C, mask, fi=-1, fm=0, fv=0):"]
+    for i in range(plan.num_inputs):
+        lines.append(f"    v{i} = V[{i}]")
+        lines.append(f"    c{i} = C[{i}]")
+    for output, op, inputs, inverting in plan.rows:
+        v = [f"v{net}" for net in inputs]
+        c = [f"c{net}" for net in inputs]
+        out_v, out_c = f"v{output}", f"c{output}"
+        if op == OP_AND:
+            zero_any = " | ".join(f"({ci} & ~{vi})" for ci, vi in zip(c, v))
+            one_all = " & ".join(v)
+            lines.append(f"    {out_c} = ({zero_any} | ({one_all})) & mask")
+            value = f"({one_all}) & {out_c}"
+        elif op == OP_OR:
+            one_any = " | ".join(v)
+            zero_all = " & ".join(f"({ci} & ~{vi})" for ci, vi in zip(c, v))
+            lines.append(f"    {out_c} = (({one_any}) | ({zero_all})) & mask")
+            value = f"({one_any}) & {out_c}"
+        elif op == OP_XOR:
+            lines.append(f"    {out_c} = " + " & ".join(c))
+            value = "(" + " ^ ".join(v) + f") & {out_c}"
+        else:  # BUF / NOT
+            lines.append(f"    {out_c} = {c[0]}")
+            value = v[0]
+        if inverting:
+            value = f"~({value}) & {out_c}"
+        lines.append(f"    {out_v} = {value}")
+        lines.append(
+            f"    if fi == {output}: {out_c} |= fm; "
+            f"{out_v} = ({out_v} & ~fm) | (fv & fm)"
+        )
+    for output, _op, _inputs, _inverting in plan.rows:
+        lines.append(f"    V[{output}] = v{output}")
+        lines.append(f"    C[{output}] = c{output}")
+    return "\n".join(lines)
+
+
+class CompiledEvaluator:
+    """The compiled evaluation functions of one netlist, built lazily."""
+
+    __slots__ = ("plan", "_binary_full", "_binary_diff", "_ternary_full")
+
+    def __init__(self, netlist: Netlist):
+        self.plan = packed_plan(netlist)
+        self._binary_full: Optional[Callable] = None
+        self._binary_diff: Optional[Callable] = None
+        self._ternary_full: Optional[Callable] = None
+
+    def _build(self, source: str, name: str) -> Callable:
+        namespace: Dict[str, Callable] = {}
+        code = compile(
+            source, f"<compiled-eval:{self.plan.netlist.name}:{name}>", "exec"
+        )
+        exec(code, namespace)
+        return namespace[name]
+
+    def binary_full(self) -> Callable:
+        """``binary_full(V, mask)`` -- in-place fault-free block evaluation."""
+        fn = self._binary_full
+        if fn is None:
+            fn = self._build(gen_binary_full(self.plan), "binary_full")
+            self._binary_full = fn
+        return fn
+
+    def binary_diff(self) -> Callable:
+        """``binary_diff(V, mask, fi, fw)`` -- one fault's detection word."""
+        fn = self._binary_diff
+        if fn is None:
+            fn = self._build(gen_binary_diff(self.plan), "binary_diff")
+            self._binary_diff = fn
+        return fn
+
+    def ternary_full(self) -> Callable:
+        """``ternary_full(V, C, mask, fi, fm, fv)`` -- in-place 01X evaluation."""
+        fn = self._ternary_full
+        if fn is None:
+            fn = self._build(gen_ternary_full(self.plan), "ternary_full")
+            self._ternary_full = fn
+        return fn
+
+
+# ----------------------------------------------------------------------
+# Bounded LRU, keyed by structural fingerprint
+# ----------------------------------------------------------------------
+#: Maximum number of netlists with live compiled evaluators.  A campaign
+#: touches a handful of circuits; 16 keeps every realistic working set
+#: resident while bounding the retained code objects.
+EVALUATOR_CACHE_SIZE = 16
+
+_EVALUATOR_CACHE: "OrderedDict[str, CompiledEvaluator]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def compiled_evaluator(netlist: Netlist) -> CompiledEvaluator:
+    """The netlist's :class:`CompiledEvaluator`, LRU-cached by fingerprint.
+
+    Keyed by :meth:`Netlist.fingerprint`, so structurally identical
+    instances (same gates, any name, any identity) share one compilation.
+    """
+    key = netlist.fingerprint()
+    cache = _EVALUATOR_CACHE
+    evaluator = cache.get(key)
+    if evaluator is not None:
+        _CACHE_STATS["hits"] += 1
+        cache.move_to_end(key)
+        return evaluator
+    _CACHE_STATS["misses"] += 1
+    evaluator = CompiledEvaluator(netlist)
+    cache[key] = evaluator
+    while len(cache) > EVALUATOR_CACHE_SIZE:
+        cache.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
+    return evaluator
+
+
+def evaluator_cache_stats() -> Dict[str, int]:
+    """Lifetime hit/miss/eviction counters plus the current cache size."""
+    stats = dict(_CACHE_STATS)
+    stats["size"] = len(_EVALUATOR_CACHE)
+    stats["capacity"] = EVALUATOR_CACHE_SIZE
+    return stats
+
+
+def clear_evaluator_cache() -> None:
+    """Drop every cached evaluator and reset the counters (test hook)."""
+    _EVALUATOR_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# Backend
+# ----------------------------------------------------------------------
+class CompiledBackend(EngineBackend):
+    """Codegen evaluators everywhere an evaluation is block-shaped.
+
+    PODEM runs the full-pass decision loop on the compiled ternary
+    function; fault simulation screens activations and calls the compiled
+    diff function per fault (the good block is flattened to the plan's net
+    order once per block, amortised over every fault screened against it).
+    """
+
+    name = "compiled"
+    description = "per-netlist generated straight-line evaluators (codegen)"
+    podem_mode = "compiled"
+    fills = "batched"
+    batched_decompressor = True
+
+    def simulate_ternary(
+        self, netlist: Netlist, input_values: Dict[str, Optional[int]]
+    ) -> Dict[str, Optional[int]]:
+        evaluator = compiled_evaluator(netlist)
+        plan = evaluator.plan
+        values, cares = seed_ternary_inputs(plan, input_values)
+        evaluator.ternary_full()(values, cares, 1)
+        return ternary_state_to_dict(plan, values, cares)
+
+    def eval_block(self, plan: PackedPlan, values: List[int], mask: int) -> None:
+        compiled_evaluator(plan.netlist).binary_full()(values, mask)
+
+    def block_detector(self, simulator, good: Dict[str, int], mask: int):
+        evaluator = compiled_evaluator(simulator.netlist)
+        plan = evaluator.plan
+        values = [good[net] for net in plan.nets]
+        diff_fn = evaluator.binary_diff()
+        index = plan.index
+
+        def detect(fault) -> int:
+            stuck = mask if fault.stuck_value else 0
+            simulator._screen_calls += 1
+            if values[index[fault.net]] == stuck:
+                # Same activation screen as the cone path: the site never
+                # deviates from the stuck value anywhere in the block.
+                simulator._screen_hits += 1
+                return 0
+            return diff_fn(values, mask, index[fault.net], stuck)
+
+        return detect

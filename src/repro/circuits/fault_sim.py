@@ -14,9 +14,16 @@ is memoized and reused by every fault, a fault whose site already carries the
 stuck value under every pattern of the block is skipped outright (it cannot
 be activated), and only the gates in the fault's fanout cone are re-evaluated
 -- event-driven, so propagation stops as soon as the faulty values converge
-back to the good ones.  ``use_cones=False`` restores the original
-full-circuit re-evaluation per fault; both paths report identical detections
-(the golden-equivalence test relies on this).
+back to the good ones.
+
+The per-fault strategy is an engine-backend choice
+(:mod:`repro.circuits.backends`): ``engine="events"`` (the default) runs the
+fanout-cone propagation above, ``engine="compiled"`` evaluates each fault
+through the netlist's generated straight-line diff function,
+``engine="packed"`` / ``engine="reference"`` restore the original dense
+full-circuit re-evaluation per fault.  All backends report identical
+detections (the golden-equivalence tests and the ``faultsim-compiled`` fuzz
+check rely on this); ``use_cones=`` survives as a deprecated shim.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.circuits.backends import get_backend, resolve_engine
 from repro.circuits.faults import StuckAtFault, collapse_faults
 from repro.circuits.netlist import Netlist
 from repro.circuits.simulator import (
@@ -63,20 +71,22 @@ class FaultSimulator:
         netlist: Netlist,
         faults: Optional[Sequence[StuckAtFault]] = None,
         word_width: int = 256,
-        use_cones: bool = True,
+        use_cones: Optional[bool] = None,
+        engine: Optional[str] = None,
     ):
         if word_width < 1:
             raise ValueError("word_width must be positive")
         self._netlist = netlist
         self._word_width = word_width
-        self._use_cones = use_cones
+        self._engine_name = resolve_engine(engine, use_cones=use_cones)
+        self._backend = get_backend(self._engine_name)
         self._remaining: Set[StuckAtFault] = set(
             faults if faults is not None else collapse_faults(netlist)
         )
         self._detected: Set[StuckAtFault] = set()
         self._initial_count = len(self._remaining)
         # Cone-evaluation state, all built lazily on the first cone query so
-        # the dense reference configuration (use_cones=False) pays nothing.
+        # the dense and compiled configurations pay nothing for it.
         self._output_set: Optional[frozenset] = None
         self._fanout: Optional[Dict[str, List[str]]] = None
         self._cones: Dict[str, List[PlanRow]] = {}
@@ -98,6 +108,11 @@ class FaultSimulator:
     @property
     def word_width(self) -> int:
         return self._word_width
+
+    @property
+    def engine(self) -> str:
+        """Name of the backend driving per-fault propagation."""
+        return self._engine_name
 
     @property
     def remaining_faults(self) -> List[StuckAtFault]:
@@ -191,15 +206,7 @@ class FaultSimulator:
         one per fill).
         """
         mask = (1 << num_patterns) - 1
-        if self._use_cones:
-            return self._cone_diff(good, mask, fault)
-        faulty = self._simulate_with_fault(good, num_patterns, fault)
-        diff = 0
-        for net in self._netlist.outputs:
-            diff |= (good[net] ^ faulty[net]) & mask
-            if diff == mask:
-                break
-        return diff
+        return self._backend.block_detector(self, good, mask)(fault)
 
     def _simulate_block(
         self, block: Sequence[Dict[str, int]]
@@ -210,7 +217,9 @@ class FaultSimulator:
         words = pack_patterns(self._netlist, block)
         # The fault-free evaluation is computed once and shared by every
         # fault of the block (each fault only overlays its fanout cone).
-        good = simulate_parallel(self._netlist, words, num_patterns)
+        good = simulate_parallel(
+            self._netlist, words, num_patterns, engine=self._engine_name
+        )
         detected = self._detect_block(good, num_patterns)
         self._flush_block_telemetry(num_patterns, len(detected))
         return detected
@@ -240,20 +249,33 @@ class FaultSimulator:
     ) -> Dict[StuckAtFault, int]:
         mask = (1 << num_patterns) - 1
         detected: Dict[StuckAtFault, int] = {}
-        outputs = self._netlist.outputs
+        # One detector per block: the backend amortises any per-block
+        # preparation (e.g. flattening ``good`` into plan order for the
+        # compiled diff function) over every fault screened below.
+        detect = self._backend.block_detector(self, good, mask)
         for fault in list(self._remaining):
-            if self._use_cones:
-                diff = self._cone_diff(good, mask, fault)
-            else:
-                faulty = self._simulate_with_fault(good, num_patterns, fault)
-                diff = 0
-                for net in outputs:
-                    diff |= (good[net] ^ faulty[net]) & mask
-                    if diff == mask:
-                        break
+            diff = detect(fault)
             if diff:
                 detected[fault] = diff
         return detected
+
+    def _dense_diff(
+        self, good: Dict[str, int], mask: int, fault: StuckAtFault
+    ) -> int:
+        """Output difference word via dense full-circuit re-evaluation.
+
+        The original per-fault strategy, kept as the ``reference`` /
+        ``packed`` backends' detector (and as the baseline the compiled
+        diff function is benchmarked against).
+        """
+        num_patterns = mask.bit_length()
+        faulty = self._simulate_with_fault(good, num_patterns, fault)
+        diff = 0
+        for net in self._netlist.outputs:
+            diff |= (good[net] ^ faulty[net]) & mask
+            if diff == mask:
+                break
+        return diff
 
     def _cone_plan(self, net: str) -> List[PlanRow]:
         """Evaluation-ordered plan rows of every gate in ``net``'s fanout."""

@@ -11,19 +11,22 @@ Three entry points cover the needs of the package:
   bit ``p`` is the value under pattern ``p``); this is what makes fault
   simulation of thousands of patterns practical in pure Python.
 
-All three are thin façades over the packed two-word engine of
-:mod:`repro.circuits.ternary`: one compiled evaluation plan, one pair of
-inner loops (binary and 01X), shared with PODEM's incremental state and the
-fault simulator's overlays.  The original dict-based three-valued evaluator
-is kept as :func:`simulate_ternary_reference` -- the golden-equivalence
-tests check the packed engine against it on randomized netlists, and it
-remains selectable wherever bit-level archaeology is needed.
+All three dispatch through the engine-backend registry
+(:mod:`repro.circuits.backends`): ``engine=`` selects the implementation
+family (``"reference"``, ``"packed"``, ``"events"`` or ``"compiled"``), the
+default honours ``REPRO_ENGINE``, and every backend returns bit-identical
+results -- only the speed differs.  The original dict-based three-valued
+evaluator is kept as :func:`simulate_ternary_reference` -- the
+golden-equivalence tests check every other backend against it on randomized
+netlists, and ``engine="reference"`` selects it wherever bit-level
+archaeology is needed.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.circuits.backends import get_backend
 from repro.circuits.netlist import Gate, GateType, Netlist
 from repro.circuits.ternary import (
     OP_AND as _OP_AND,
@@ -31,12 +34,8 @@ from repro.circuits.ternary import (
     OP_OR as _OP_OR,
     OP_XOR as _OP_XOR,
     PlanRow,
-    eval_binary,
-    eval_ternary,
     evaluation_plan,
     packed_plan,
-    seed_ternary_inputs,
-    ternary_state_to_dict,
 )
 
 __all__ = [
@@ -53,7 +52,11 @@ __all__ = [
 X = None
 
 
-def simulate(netlist: Netlist, input_values: Dict[str, int]) -> Dict[str, int]:
+def simulate(
+    netlist: Netlist,
+    input_values: Dict[str, int],
+    engine: Optional[str] = None,
+) -> Dict[str, int]:
     """Two-valued simulation of a single fully specified input vector."""
     plan = packed_plan(netlist)
     values = [0] * plan.num_nets
@@ -66,22 +69,24 @@ def simulate(netlist: Netlist, input_values: Dict[str, int]) -> Dict[str, int]:
         if bit not in (0, 1):
             raise ValueError(f"input {net!r} must be 0 or 1, got {bit!r}")
         values[i] = bit
-    eval_binary(plan, values, 1)
+    get_backend(engine).eval_block(plan, values, 1)
     return dict(zip(nets, values))
 
 
 def simulate_ternary(
-    netlist: Netlist, input_values: Dict[str, Optional[int]]
+    netlist: Netlist,
+    input_values: Dict[str, Optional[int]],
+    engine: Optional[str] = None,
 ) -> Dict[str, Optional[int]]:
     """Three-valued (0/1/X) simulation; missing inputs default to X."""
-    plan = packed_plan(netlist)
-    values, cares = seed_ternary_inputs(plan, input_values)
-    eval_ternary(plan, values, cares, 1)
-    return ternary_state_to_dict(plan, values, cares)
+    return get_backend(engine).simulate_ternary(netlist, input_values)
 
 
 def simulate_parallel(
-    netlist: Netlist, input_words: Dict[str, int], num_patterns: int
+    netlist: Netlist,
+    input_words: Dict[str, int],
+    num_patterns: int,
+    engine: Optional[str] = None,
 ) -> Dict[str, int]:
     """Bit-parallel simulation of ``num_patterns`` patterns at once.
 
@@ -100,7 +105,7 @@ def simulate_parallel(
         if net not in input_words:
             raise ValueError(f"missing packed value for primary input {net!r}")
         values[i] = input_words[net] & mask
-    eval_binary(plan, values, mask)
+    get_backend(engine).eval_block(plan, values, mask)
     return dict(zip(nets, values))
 
 

@@ -38,11 +38,12 @@ Python:
 
 ``atpg``
     Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
-    random circuit) and write the resulting test-cube file.  Runs on the
-    packed two-word ternary core with event-driven fanout-cone updates and
-    a batched drop block by default; ``--no-events`` falls back to the
-    full-pass per-fill engine and ``--reference`` to the original
-    dict-based engine (identical cubes either way, for cross-checks).
+    random circuit) and write the resulting test-cube file.  ``--engine``
+    selects the backend from the engine registry (``reference``,
+    ``packed``, ``events`` -- the default -- or ``compiled``); every
+    engine produces identical cubes, so the slower ones exist for
+    cross-checks.  ``--reference`` and ``--no-events`` are kept as
+    deprecated aliases.
 
 ``bench``
     Benchmark the hot kernels (encoding solvability scan, parallel-pattern
@@ -113,6 +114,12 @@ def _load_test_set(args: argparse.Namespace) -> TestSet:
     raise SystemExit("either --tests or --profile is required")
 
 
+def _engine_choices():
+    from repro.circuits.backends import backend_names
+
+    return backend_names()
+
+
 def _config_from_args(args: argparse.Namespace, test_set: TestSet) -> CompressionConfig:
     lfsr_size = args.lfsr
     if lfsr_size is None and args.profile:
@@ -123,6 +130,7 @@ def _config_from_args(args: argparse.Namespace, test_set: TestSet) -> Compressio
         speedup=args.speedup,
         num_scan_chains=args.chains,
         lfsr_size=lfsr_size,
+        engine=getattr(args, "engine", None),
     )
 
 
@@ -170,6 +178,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     hw.add_argument("-k", "--speedup", type=int, default=12, help="State Skip speedup k")
     hw.add_argument("--chains", type=int, default=32, help="number of scan chains")
     hw.add_argument("--lfsr", type=int, default=None, help="LFSR size (default: auto)")
+    hw.add_argument(
+        "--engine", choices=_engine_choices(), default=None,
+        help="simulation engine backend wherever the pipeline simulates "
+             "circuits or replays the decompressor (default: REPRO_ENGINE "
+             "or 'events'; all engines are bit-identical)",
+    )
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -441,6 +455,16 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         netlist = random_netlist(
             "generated", num_inputs=args.inputs, num_gates=args.gates, seed=args.seed
         )
+    # --reference / --no-events predate --engine; map them to engine names
+    # (explicit --engine wins).
+    if args.engine:
+        engine = args.engine
+    elif args.reference:
+        engine = "reference"
+    elif args.no_events:
+        engine = "packed"
+    else:
+        engine = None
     recorder = None
     if args.trace:
         from repro.telemetry import Recorder, use_recorder
@@ -448,19 +472,11 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         recorder = Recorder()
         with use_recorder(recorder):
             result = generate_test_set_for_netlist(
-                netlist,
-                fill_seed=args.seed,
-                use_packed=not args.reference,
-                use_events=not args.no_events,
-                batch_fills=not args.no_events,
+                netlist, fill_seed=args.seed, engine=engine
             )
     else:
         result = generate_test_set_for_netlist(
-            netlist,
-            fill_seed=args.seed,
-            use_packed=not args.reference,
-            use_events=not args.no_events,
-            batch_fills=not args.no_events,
+            netlist, fill_seed=args.seed, engine=engine
         )
     stats = result.test_set.stats()
     print(
@@ -777,16 +793,19 @@ def build_parser() -> argparse.ArgumentParser:
     atpg_parser.add_argument("--seed", type=int, default=1)
     atpg_parser.add_argument("--output", help="write the cube file here")
     atpg_parser.add_argument(
+        "--engine", choices=_engine_choices(), default=None,
+        help="PODEM / fault-sim engine backend (default: REPRO_ENGINE or "
+             "'events'; all engines produce identical cubes)",
+    )
+    atpg_parser.add_argument(
         "--reference", action="store_true",
-        help="use the dict-based reference PODEM engine instead of the "
-             "packed ternary core (identical cubes, ~10x slower)",
+        help="deprecated alias for --engine reference (the original "
+             "dict-based PODEM engine; identical cubes, ~10x slower)",
     )
     atpg_parser.add_argument(
         "--no-events", action="store_true",
-        help="disable the event-driven fanout-cone updates and the batched "
-             "drop block; every decision node re-evaluates the whole "
-             "netlist and fills are simulated one by one (identical "
-             "cubes, for cross-checks)",
+        help="deprecated alias for --engine packed (full-pass packed "
+             "engine, per-pattern fills; identical cubes, for cross-checks)",
     )
     _add_trace_options(atpg_parser, trace_dir="results")
     atpg_parser.set_defaults(func=_cmd_atpg)

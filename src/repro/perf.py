@@ -1,6 +1,6 @@
 """Hot-kernel benchmarks and the regression harness behind ``repro bench``.
 
-Six kernels dominate campaign wall time and are measured here, plus one
+Seven kernels dominate campaign wall time and are measured here, plus one
 overhead gate for the telemetry subsystem:
 
 ``encoding``
@@ -12,22 +12,30 @@ overhead gate for the telemetry subsystem:
 ``faultsim``
     Parallel-pattern fault simulation (wide words, fanout-cone evaluation)
     on generated benchmark circuits -- timed against the in-repo reference
-    simulator (``use_cones=False``, 64-bit words) and checked for identical
+    simulator (``engine="packed"``, 64-bit words) and checked for identical
     detected-fault sets.
+
+``faultsim-compiled``
+    The codegen-compiled backend in isolation: full-block fault simulation
+    through the per-netlist compiled evaluator (one local per net, fused
+    word ops, inversion folded in; see
+    :mod:`repro.circuits.backends.compiled`) against the full-pass packed
+    engine at the *same* word width, so the ratio isolates exactly what
+    compilation buys.  Detected-fault sets are checked for identity.
 
 ``atpg``
     PODEM test generation on the packed two-word ternary core (event-driven
     fanout-cone updates per decision node, batched drop simulation; see
     :mod:`repro.circuits.ternary`) -- timed against the dict-based
-    reference engine (``use_packed=False``, per-pattern fills) and checked
-    for bit-identical :class:`~repro.circuits.atpg.AtpgResult`\\ s (cubes,
-    partitions, coverage).
+    reference engine (``engine="reference"``, per-pattern fills) and
+    checked for bit-identical :class:`~repro.circuits.atpg.AtpgResult`\\ s
+    (cubes, partitions, coverage).
 
 ``atpg-events``
     The incremental step in isolation: event-driven PODEM plus the batched
-    fill block against the full-pass packed engine (``use_events=False``,
-    ``batch_fills=False``) -- the PR 4 default, which re-evaluated the
-    whole netlist once per decision node and fault-simulated one fill at a
+    fill block against the full-pass packed engine (``engine="packed"``,
+    per-pattern fills) -- the PR 4 default, which re-evaluated the whole
+    netlist once per decision node and fault-simulated one fill at a
     time.  Results are again checked for bit-identity.
 
 ``embedding``
@@ -90,6 +98,7 @@ from repro.testdata.synthetic import generate_test_set
 KERNELS = (
     "encoding",
     "faultsim",
+    "faultsim-compiled",
     "atpg",
     "atpg-events",
     "embedding",
@@ -302,7 +311,11 @@ _FAULTSIM_CASES = {
 
 
 def _faultsim_timed(
-    num_inputs: int, num_gates: int, num_patterns: int, optimized: bool
+    num_inputs: int,
+    num_gates: int,
+    num_patterns: int,
+    engine: str,
+    word_width: int,
 ):
     """Fault-simulate random patterns; returns (wall, (detected set, faults))."""
     netlist = random_netlist(
@@ -310,10 +323,7 @@ def _faultsim_timed(
     )
     rng = random.Random(42)
     vectors = [rng.getrandbits(netlist.num_inputs) for _ in range(num_patterns)]
-    if optimized:
-        simulator = FaultSimulator(netlist, word_width=256, use_cones=True)
-    else:
-        simulator = FaultSimulator(netlist, word_width=64, use_cones=False)
+    simulator = FaultSimulator(netlist, word_width=word_width, engine=engine)
     total_faults = len(simulator.remaining_faults)
     start = time.perf_counter()
     result = simulator.simulate_patterns(
@@ -336,11 +346,15 @@ def bench_faultsim(quick: bool = False, repeat: int = 2) -> KernelReport:
     for name, num_inputs, num_gates, num_patterns in _FAULTSIM_CASES[mode]:
         wall, (detected, total_faults) = _best_of(
             repeat,
-            lambda: _faultsim_timed(num_inputs, num_gates, num_patterns, True),
+            lambda: _faultsim_timed(
+                num_inputs, num_gates, num_patterns, "events", 256
+            ),
         )
         ref_wall, (ref_detected, _) = _best_of(
             repeat,
-            lambda: _faultsim_timed(num_inputs, num_gates, num_patterns, False),
+            lambda: _faultsim_timed(
+                num_inputs, num_gates, num_patterns, "packed", 64
+            ),
         )
         evaluations = total_faults * num_patterns
         cases.append(
@@ -365,6 +379,53 @@ def bench_faultsim(quick: bool = False, repeat: int = 2) -> KernelReport:
     return KernelReport(kernel="faultsim", mode=mode, cases=cases)
 
 
+def bench_faultsim_compiled(quick: bool = False, repeat: int = 2) -> KernelReport:
+    """Measure the codegen-compiled backend vs the packed full-pass engine.
+
+    Both sides run full-block fault simulation at the same word width, so
+    the ratio isolates what compiling the netlist to straight-line Python
+    buys over the interpreted row loop: no per-row tuple unpacking, no list
+    indexing, intermediate values living in locals, and the single-fault
+    diff evaluated without materializing a faulty copy of the block.
+    """
+    mode = "quick" if quick else "full"
+    cases: List[KernelCase] = []
+    for name, num_inputs, num_gates, num_patterns in _FAULTSIM_CASES[mode]:
+        wall, (detected, total_faults) = _best_of(
+            repeat,
+            lambda: _faultsim_timed(
+                num_inputs, num_gates, num_patterns, "compiled", 256
+            ),
+        )
+        ref_wall, (ref_detected, _) = _best_of(
+            repeat,
+            lambda: _faultsim_timed(
+                num_inputs, num_gates, num_patterns, "packed", 256
+            ),
+        )
+        evaluations = total_faults * num_patterns
+        cases.append(
+            KernelCase(
+                name=name,
+                wall_s=wall,
+                throughput=evaluations / wall if wall > 0 else 0.0,
+                unit="fault-patterns/s",
+                reference_wall_s=ref_wall,
+                speedup=ref_wall / wall if wall > 0 else 0.0,
+                verified=detected == ref_detected,
+                detail={
+                    "num_inputs": num_inputs,
+                    "num_gates": num_gates,
+                    "num_patterns": num_patterns,
+                    "total_faults": total_faults,
+                    "detected": len(detected),
+                    "word_width": 256,
+                },
+            )
+        )
+    return KernelReport(kernel="faultsim-compiled", mode=mode, cases=cases)
+
+
 # ----------------------------------------------------------------------
 # ATPG kernel (PODEM on the packed ternary core)
 # ----------------------------------------------------------------------
@@ -384,9 +445,8 @@ _ATPG_CASES = {
 def _atpg_timed(
     num_inputs: int,
     num_gates: int,
-    packed: bool,
-    events: bool = True,
-    batch: bool = True,
+    engine: str = "events",
+    fills: Optional[str] = None,
 ):
     """Full PODEM run (generation + drop simulation).
 
@@ -401,9 +461,9 @@ def _atpg_timed(
     netlist = random_netlist(
         "bench", num_inputs=num_inputs, num_gates=num_gates, seed=7
     )
-    atpg = PodemAtpg(netlist, use_packed=packed, use_events=events)
+    atpg = PodemAtpg(netlist, engine=engine)
     start = time.perf_counter()
-    result = atpg.run(batch_fills=batch)
+    result = atpg.run(fills=fills)
     wall = time.perf_counter() - start
     stats: Dict[str, object] = {}
     engine = atpg._engine
@@ -473,12 +533,12 @@ def bench_atpg(quick: bool = False, repeat: int = 2) -> KernelReport:
     cases: List[KernelCase] = []
     for name, num_inputs, num_gates in _ATPG_CASES[mode]:
         wall, (result, stats) = _best_of(
-            repeat, lambda: _atpg_timed(num_inputs, num_gates, True)
+            repeat, lambda: _atpg_timed(num_inputs, num_gates, "events")
         )
         ref_wall, (ref_result, _) = _best_of(
             repeat,
             lambda: _atpg_timed(
-                num_inputs, num_gates, False, events=False, batch=False
+                num_inputs, num_gates, "reference", fills="per-pattern"
             ),
         )
         cases.append(
@@ -529,12 +589,12 @@ def bench_atpg_events(quick: bool = False, repeat: int = 2) -> KernelReport:
     cases: List[KernelCase] = []
     for name, num_inputs, num_gates in _ATPG_EVENTS_CASES[mode]:
         wall, (result, stats) = _best_of(
-            repeat, lambda: _atpg_timed(num_inputs, num_gates, True)
+            repeat, lambda: _atpg_timed(num_inputs, num_gates, "events")
         )
         ref_wall, (ref_result, _) = _best_of(
             repeat,
             lambda: _atpg_timed(
-                num_inputs, num_gates, True, events=False, batch=False
+                num_inputs, num_gates, "packed", fills="per-pattern"
             ),
         )
         cases.append(
@@ -870,6 +930,7 @@ def bench_telemetry_overhead(quick: bool = False, repeat: int = 2) -> KernelRepo
 _BENCHES = {
     "encoding": bench_encoding,
     "faultsim": bench_faultsim,
+    "faultsim-compiled": bench_faultsim_compiled,
     "atpg": bench_atpg,
     "atpg-events": bench_atpg_events,
     "embedding": bench_embedding,

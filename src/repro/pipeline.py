@@ -382,6 +382,7 @@ def simulate(
             encoded.substrate.lfsr.transition,
             encoded.substrate.phase_shifter,
             encoded.substrate.architecture,
+            engine=encoded.config.engine,
         )
         uncovered = outcome.uncovered_cubes(encoded.test_set)
         if uncovered:

@@ -205,6 +205,9 @@ class TestBenchCommand:
 
         encoding = json.loads((out_dir / "BENCH_encoding.json").read_text())
         faultsim = json.loads((out_dir / "BENCH_faultsim.json").read_text())
+        faultsim_compiled = json.loads(
+            (out_dir / "BENCH_faultsim-compiled.json").read_text()
+        )
         atpg = json.loads((out_dir / "BENCH_atpg.json").read_text())
         atpg_events = json.loads((out_dir / "BENCH_atpg-events.json").read_text())
         embedding = json.loads((out_dir / "BENCH_embedding.json").read_text())
@@ -214,6 +217,10 @@ class TestBenchCommand:
         )
         assert encoding["kernel"] == "encoding" and encoding["cases"]
         assert faultsim["kernel"] == "faultsim" and faultsim["cases"]
+        assert (
+            faultsim_compiled["kernel"] == "faultsim-compiled"
+            and faultsim_compiled["cases"]
+        )
         assert atpg["kernel"] == "atpg" and atpg["cases"]
         assert atpg_events["kernel"] == "atpg-events" and atpg_events["cases"]
         assert embedding["kernel"] == "embedding" and embedding["cases"]
@@ -222,6 +229,7 @@ class TestBenchCommand:
         all_cases = (
             encoding["cases"]
             + faultsim["cases"]
+            + faultsim_compiled["cases"]
             + atpg["cases"]
             + atpg_events["cases"]
             + embedding["cases"]
@@ -235,7 +243,7 @@ class TestBenchCommand:
         # The optimized engines must beat their in-repo references.
         # (telemetry-overhead is excluded: its "speedup" is the
         # enabled/disabled recorder ratio, expected to hover near 1.)
-        for report in (atpg, atpg_events, embedding, context):
+        for report in (faultsim_compiled, atpg, atpg_events, embedding, context):
             for case in report["cases"]:
                 assert case["speedup"] > 1.0
         # Results land in the campaign store with elapsed_s populated.

@@ -38,6 +38,8 @@ class TestRegistry:
             "event-propagate",
             "podem-events",
             "podem-packed",
+            "sim-compiled",
+            "faultsim-compiled",
             "drop-batch",
             "solver-batch",
             "embedding",
