@@ -21,7 +21,7 @@ just like useful ones).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable
 
 from repro.scan.architecture import ScanArchitecture
 

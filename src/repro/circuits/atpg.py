@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import random
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.circuits.backends import compiled_evaluator, get_backend, resolve_engine

@@ -31,7 +31,7 @@ Everything is dependency-free stdlib codegen -- no numba, no Cython.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import os
 from typing import Callable, Dict, List, Optional
 
 from repro.circuits.backends.base import EngineBackend
@@ -45,6 +45,7 @@ from repro.circuits.ternary import (
     seed_ternary_inputs,
     ternary_state_to_dict,
 )
+from repro.lru import LRUCache
 
 
 # ----------------------------------------------------------------------
@@ -143,18 +144,68 @@ def gen_ternary_full(plan: PackedPlan) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Codegen verification hook
+# ----------------------------------------------------------------------
+#: Process-wide override for codegen verification; ``None`` defers to the
+#: ``REPRO_VERIFY_CODEGEN`` environment variable (how the fuzz-smoke CI
+#: job turns it on without touching call sites).
+_VERIFY_CODEGEN: Optional[bool] = None
+
+
+def set_codegen_verify(enabled: Optional[bool]) -> None:
+    """Force codegen verification on/off process-wide (``None`` = env)."""
+    global _VERIFY_CODEGEN
+    _VERIFY_CODEGEN = enabled
+
+
+def codegen_verify_enabled() -> bool:
+    if _VERIFY_CODEGEN is not None:
+        return _VERIFY_CODEGEN
+    return os.environ.get("REPRO_VERIFY_CODEGEN", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
 class CompiledEvaluator:
-    """The compiled evaluation functions of one netlist, built lazily."""
+    """The compiled evaluation functions of one netlist, built lazily.
 
-    __slots__ = ("plan", "_binary_full", "_binary_diff", "_ternary_full")
+    With ``verify`` enabled (explicitly, via :func:`set_codegen_verify` or
+    ``REPRO_VERIFY_CODEGEN``), every generated function is AST-verified by
+    :func:`repro.staticcheck.ir.verify_generated_source` before it is
+    ``exec()``-ed -- single-assignment locals, def-before-use ordering,
+    template-scope hygiene, output-word completeness.  The cost lands on
+    the build (cache miss) only; the returned callables are unchanged.
+    """
 
-    def __init__(self, netlist: Netlist):
+    __slots__ = (
+        "plan", "verify", "_binary_full", "_binary_diff", "_ternary_full",
+    )
+
+    def __init__(self, netlist: Netlist, verify: Optional[bool] = None):
         self.plan = packed_plan(netlist)
+        self.verify = verify
         self._binary_full: Optional[Callable] = None
         self._binary_diff: Optional[Callable] = None
         self._ternary_full: Optional[Callable] = None
 
     def _build(self, source: str, name: str) -> Callable:
+        verify = self.verify
+        if verify is None:
+            verify = codegen_verify_enabled()
+        if verify:
+            # Local import: staticcheck sits above the circuits layer.
+            from repro.staticcheck.ir import (
+                IrVerificationError,
+                verify_generated_source,
+            )
+
+            problems = verify_generated_source(source, self.plan, name)
+            if problems:
+                raise IrVerificationError(
+                    f"generated {name} of {self.plan.netlist.name!r}",
+                    problems,
+                )
         namespace: Dict[str, Callable] = {}
         code = compile(
             source, f"<compiled-eval:{self.plan.netlist.name}:{name}>", "exec"
@@ -195,45 +246,38 @@ class CompiledEvaluator:
 #: resident while bounding the retained code objects.
 EVALUATOR_CACHE_SIZE = 16
 
-_EVALUATOR_CACHE: "OrderedDict[str, CompiledEvaluator]" = OrderedDict()
-_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_EVALUATOR_CACHE: LRUCache = LRUCache(EVALUATOR_CACHE_SIZE)
 
 
-def compiled_evaluator(netlist: Netlist) -> CompiledEvaluator:
+def compiled_evaluator(
+    netlist: Netlist, verify: Optional[bool] = None
+) -> CompiledEvaluator:
     """The netlist's :class:`CompiledEvaluator`, LRU-cached by fingerprint.
 
     Keyed by :meth:`Netlist.fingerprint`, so structurally identical
     instances (same gates, any name, any identity) share one compilation.
+    ``verify`` (tri-state, see :class:`CompiledEvaluator`) applies to any
+    function the returned evaluator has not built yet.
     """
     key = netlist.fingerprint()
-    cache = _EVALUATOR_CACHE
-    evaluator = cache.get(key)
-    if evaluator is not None:
-        _CACHE_STATS["hits"] += 1
-        cache.move_to_end(key)
-        return evaluator
-    _CACHE_STATS["misses"] += 1
-    evaluator = CompiledEvaluator(netlist)
-    cache[key] = evaluator
-    while len(cache) > EVALUATOR_CACHE_SIZE:
-        cache.popitem(last=False)
-        _CACHE_STATS["evictions"] += 1
+    evaluator = _EVALUATOR_CACHE.get(key)
+    if evaluator is None:
+        evaluator = CompiledEvaluator(netlist, verify=verify)
+        _EVALUATOR_CACHE.put(key, evaluator)
+    elif verify is not None:
+        evaluator.verify = verify
     return evaluator
 
 
 def evaluator_cache_stats() -> Dict[str, int]:
     """Lifetime hit/miss/eviction counters plus the current cache size."""
-    stats = dict(_CACHE_STATS)
-    stats["size"] = len(_EVALUATOR_CACHE)
-    stats["capacity"] = EVALUATOR_CACHE_SIZE
-    return stats
+    return _EVALUATOR_CACHE.stats()
 
 
 def clear_evaluator_cache() -> None:
     """Drop every cached evaluator and reset the counters (test hook)."""
     _EVALUATOR_CACHE.clear()
-    for key in _CACHE_STATS:
-        _CACHE_STATS[key] = 0
+    _EVALUATOR_CACHE.reset_stats()
 
 
 # ----------------------------------------------------------------------

@@ -18,7 +18,7 @@ rest of the library expects).
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.circuits.netlist import Gate, GateType, Netlist
 

@@ -34,14 +34,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.circuits.backends import get_backend, resolve_engine
 from repro.circuits.faults import StuckAtFault, collapse_faults
 from repro.circuits.netlist import Netlist
-from repro.circuits.simulator import (
-    _OP_AND,
-    _OP_OR,
-    _OP_XOR,
+from repro.circuits.simulator import evaluation_plan, pack_patterns, simulate_parallel
+from repro.circuits.ternary import (
+    OP_AND as _OP_AND,
+    OP_OR as _OP_OR,
+    OP_XOR as _OP_XOR,
     PlanRow,
-    evaluation_plan,
-    pack_patterns,
-    simulate_parallel,
 )
 from repro.telemetry import get_recorder
 

@@ -21,7 +21,7 @@ uncollapsed universe if desired) but cuts ATPG time roughly in half.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set
 
 from repro.circuits.netlist import GateType, Netlist
 

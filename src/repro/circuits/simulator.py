@@ -24,19 +24,11 @@ archaeology is needed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.circuits.backends import get_backend
 from repro.circuits.netlist import Gate, GateType, Netlist
-from repro.circuits.ternary import (
-    OP_AND as _OP_AND,
-    OP_BUF as _OP_BUF,
-    OP_OR as _OP_OR,
-    OP_XOR as _OP_XOR,
-    PlanRow,
-    evaluation_plan,
-    packed_plan,
-)
+from repro.circuits.ternary import evaluation_plan, packed_plan
 
 __all__ = [
     "X",

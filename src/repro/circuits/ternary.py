@@ -52,10 +52,11 @@ rewind in O(changed cone).
 
 from __future__ import annotations
 
-from weakref import WeakKeyDictionary
 from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.circuits.netlist import GateType, Netlist
+from repro.lru import LRUCache
 
 #: Opcodes of the compiled evaluation plans (shared by every simulator).
 OP_AND, OP_OR, OP_XOR, OP_BUF = 0, 1, 2, 3
@@ -123,7 +124,9 @@ _FUSED_3IN = {OP_AND: _F_AND3, OP_OR: _F_OR3, OP_XOR: _F_XOR3}
 #: operand states -- no bit algebra, no opcode dispatch beyond arity,
 #: and the inversion folded into the table.  Shared process-wide; at
 #: most 14 table pairs of <= 4096 small ints each.
-_TABLE_CACHE: Dict[Tuple[int, bool], Tuple[List[int], List[int]]] = {}
+#: 14 (fused op, inverting) pairs exist, so the bound never evicts; the
+#: LRUCache is the bounded-cache discipline, not a working-set limit.
+_TABLE_CACHE: LRUCache = LRUCache(32)
 
 
 def _fused_tables(op: int, inverting: bool) -> Tuple[List[int], List[int]]:
@@ -177,7 +180,7 @@ def _fused_tables(op: int, inverting: bool) -> Tuple[List[int], List[int]]:
         value_table[key] = value
         care_table[key] = care
     tables = (value_table, care_table)
-    _TABLE_CACHE[(op, inverting)] = tables
+    _TABLE_CACHE.put((op, inverting), tables)
     return tables
 
 #: Fused rows: ``(output, fused_op, a, b, c, inputs, inverting)``.

@@ -35,6 +35,17 @@ Python:
     written as a self-contained repro directory (``--replay`` re-runs
     one).  ``--chaos`` adds fault injection: SIGKILLed campaign workers
     and corrupted store tails, asserting nothing is ever lost.
+    ``--verify-codegen`` AST-verifies every generated evaluator of the
+    compiled backend before it is ``exec()``-ed.
+
+``lint``
+    Run the static verification subsystem (:mod:`repro.staticcheck`) over
+    ``src/`` and ``tests/``: IR/codegen verifiers, repo-specific AST lint
+    rules and concurrency-hazard checks.  One ``path:line: rule-id
+    message`` per violation; exits 0 clean, 1 on violations, 2 on an
+    analyzer internal error.  ``--rules`` selects a subset,
+    ``--format=json`` emits a machine-readable report, ``--fix-hints``
+    appends the per-rule remediation hint.
 
 ``atpg``
     Run the built-in PODEM ATPG on a ``.bench`` netlist (or on a generated
@@ -85,12 +96,15 @@ Examples
     python -m repro fuzz --time-budget 60 --seed 0
     python -m repro fuzz --chaos --checks chaos-worker-kill
     python -m repro fuzz --replay results/fuzz/repro-ternary-sim-1234
+    python -m repro lint
+    python -m repro lint --rules bounded-cache,worker-shared-state --fix-hints
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from pathlib import Path
 from typing import List, Optional
 
@@ -651,8 +665,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck import format_json, format_text, run_lint
+
+    root = Path(args.root).resolve()
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    rules = [name for group in (args.rules or []) for name in group if name]
+    try:
+        report = run_lint(root, paths=paths, rules=rules or None)
+    except Exception:  # pragma: no cover - analyzer crash guard
+        traceback.print_exc()
+        return 2
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report, fix_hints=args.fix_hints))
+    return report.exit_code
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import load_case, replay_case, resolve_checks, run_fuzz
+
+    if args.verify_codegen:
+        from repro.circuits.backends.compiled import set_codegen_verify
+
+        set_codegen_verify(True)
 
     if args.replay:
         try:
@@ -905,7 +942,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute one stored case (a repro directory or its "
              "case.json) instead of fuzzing",
     )
+    fuzz_parser.add_argument(
+        "--verify-codegen", action="store_true",
+        help="AST-verify every generated compiled-backend evaluator before "
+             "exec() (cache misses only; see repro.staticcheck.ir)",
+    )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static verification: IR/codegen verifiers, repo lint rules "
+             "and concurrency-hazard checks (exit 0/1/2)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/ and tests/ "
+             "under --root)",
+    )
+    lint_parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repo root for relative paths in the report (default .)",
+    )
+    lint_parser.add_argument(
+        "--rules", action="append", metavar="RULE[,RULE...]",
+        type=lambda value: value.split(","),
+        help="run only these rules (repeatable, comma-separated)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    lint_parser.add_argument(
+        "--fix-hints", action="store_true",
+        help="append each rule's remediation hint after its violations",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

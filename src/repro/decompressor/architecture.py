@@ -35,21 +35,21 @@ Two datapath models replay the schedule:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.decompressor.counters import CounterBank
+from repro.decompressor.mode_select import ModeSelectUnit
+from repro.encoding.results import EncodingResult
 from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import GF2Matrix
 from repro.lfsr.lfsr import LFSR, LFSRMode
 from repro.lfsr.phase_shifter import PhaseShifter
 from repro.lfsr.state_skip import StateSkipLFSR
+from repro.lru import LRUCache
 from repro.scan.architecture import ScanArchitecture
-from repro.decompressor.counters import CounterBank
-from repro.decompressor.mode_select import ModeSelectUnit
-from repro.encoding.results import EncodingResult
 from repro.skip.reduction import ReductionResult
 from repro.testdata.test_set import TestSet
 
@@ -152,10 +152,8 @@ class Decompressor:
 #: ladder in place, so later :func:`simulate_decompression` calls over the
 #: same substrate start from every power already computed instead of
 #: rebuilding the ladder per call.  Bounded LRU.
-_POWERS_CACHE: "OrderedDict[Tuple[Tuple[int, ...], int], List[np.ndarray]]" = (
-    OrderedDict()
-)
 _POWERS_CACHE_SIZE = 8
+_POWERS_CACHE: LRUCache = LRUCache(_POWERS_CACHE_SIZE)
 
 
 def _mode_ladder(matrix: GF2Matrix) -> List[np.ndarray]:
@@ -169,11 +167,7 @@ def _mode_ladder(matrix: GF2Matrix) -> List[np.ndarray]:
     ladder = _POWERS_CACHE.get(key)
     if ladder is None:
         ladder = [_matrix_to_numpy(matrix).astype(np.float32)]
-        _POWERS_CACHE[key] = ladder
-        while len(_POWERS_CACHE) > _POWERS_CACHE_SIZE:
-            _POWERS_CACHE.popitem(last=False)
-    else:
-        _POWERS_CACHE.move_to_end(key)
+        _POWERS_CACHE.put(key, ladder)
     return ladder
 
 

@@ -18,13 +18,13 @@ saving from sharing everything but Mode Select across the cores of a SoC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.decompressor.counters import counter_width
+from repro.decompressor.mode_select import ModeSelectUnit
 from repro.gf2.matrix import GF2Matrix
 from repro.lfsr.phase_shifter import PhaseShifter
 from repro.lfsr.state_skip import StateSkipCircuit
-from repro.decompressor.counters import counter_width
-from repro.decompressor.mode_select import ModeSelectUnit
 
 
 @dataclass(frozen=True)

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.encoding.equations import EquationSystem
+from repro.encoding.results import EncodingResult
 from repro.encoding.substrate import EncoderSubstrate, SubstrateKey
+from repro.encoding.window import WindowEncoder
 from repro.lfsr.lfsr import LFSR
 from repro.lfsr.phase_shifter import PhaseShifter
 from repro.scan.architecture import ScanArchitecture
-from repro.encoding.equations import EquationSystem
-from repro.encoding.results import EncodingResult
-from repro.encoding.window import WindowEncoder
 from repro.testdata.test_set import TestSet
 
 

@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.gf2.bitvec import BitVector
-from repro.testdata.test_set import TestSet
 
 
 @dataclass(frozen=True)

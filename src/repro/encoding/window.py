@@ -44,13 +44,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gf2.solve import IncrementalSolver, SolveOutcome, TrialResult
 from repro.encoding.equations import EquationSystem
 from repro.encoding.results import CubeEmbedding, EncodingResult, SeedRecord
+from repro.gf2.solve import IncrementalSolver, SolveOutcome, TrialResult
 from repro.testdata.test_set import TestSet
 
 

@@ -33,9 +33,9 @@ import shutil
 import signal
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.fuzz.generators import FuzzCase, ParamRange, case_test_set
+from repro.fuzz.generators import FuzzCase, case_test_set
 from repro.fuzz.oracle import Check, SkipCase, register
 from repro.telemetry import get_recorder
 

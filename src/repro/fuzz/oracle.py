@@ -23,7 +23,7 @@ oracle exactly like it would be by production code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro import pipeline as _pipeline

@@ -16,7 +16,7 @@ The matrices are the backbone of:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.gf2.bitvec import BitVector
 

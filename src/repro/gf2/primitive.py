@@ -22,7 +22,7 @@ fill looks uniform.  This module provides:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.gf2.polynomial import GF2Polynomial
 

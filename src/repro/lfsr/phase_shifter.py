@@ -22,7 +22,7 @@ solvable with high probability.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List
 
 from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import GF2Matrix

@@ -20,7 +20,7 @@ paper (e.g. 52 GE for s13207's 24-bit LFSR at k = 12).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import GF2Matrix

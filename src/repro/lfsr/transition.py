@@ -26,11 +26,12 @@ the transition matrix alone.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Sequence
+from typing import List
 
 from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import GF2Matrix, identity
 from repro.gf2.polynomial import GF2Polynomial
+from repro.lru import LRUCache
 
 
 class TransitionPowerCache:
@@ -94,8 +95,8 @@ class TransitionPowerCache:
 #: Process-wide power caches, keyed by matrix, bounded LRU-style.  The flows
 #: touch a handful of distinct transition matrices (one per LFSR size in a
 #: campaign), so a small bound keeps memory flat without losing reuse.
-_POWER_CACHES: "OrderedDict[GF2Matrix, TransitionPowerCache]" = OrderedDict()
 _POWER_CACHE_LIMIT = 16
+_POWER_CACHES: LRUCache = LRUCache(_POWER_CACHE_LIMIT)
 
 
 def power_cache(matrix: GF2Matrix) -> TransitionPowerCache:
@@ -103,11 +104,7 @@ def power_cache(matrix: GF2Matrix) -> TransitionPowerCache:
     cache = _POWER_CACHES.get(matrix)
     if cache is None:
         cache = TransitionPowerCache(matrix)
-        _POWER_CACHES[matrix] = cache
-        while len(_POWER_CACHES) > _POWER_CACHE_LIMIT:
-            _POWER_CACHES.popitem(last=False)
-    else:
-        _POWER_CACHES.move_to_end(matrix)
+        _POWER_CACHES.put(matrix, cache)
     return cache
 
 

@@ -35,8 +35,8 @@ breakdown) plus the underlying result objects for deeper inspection.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.config import CompressionConfig
 from repro.context import CompressionContext, EncoderSubstrate, SubstrateKey

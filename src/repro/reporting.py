@@ -8,7 +8,7 @@ tables.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 Cell = Union[str, int, float, None]
 

@@ -19,9 +19,8 @@ TDV) and the per-seed schedule that the decompressor simulation replays.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.encoding.equations import EquationSystem
 from repro.encoding.results import EncodingResult

@@ -13,7 +13,6 @@ always uses divisors but nothing in the method requires it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple
 
 

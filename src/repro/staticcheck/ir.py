@@ -1,0 +1,702 @@
+"""IR verifiers: structural validation of netlists, plans and codegen.
+
+Three static validators, each returning a list of human-readable problems
+(empty = valid) so callers can aggregate, and a raising wrapper for the
+hot hook in the compiled backend:
+
+* :func:`verify_netlist` -- the :class:`~repro.circuits.netlist.Netlist`
+  invariants re-checked from scratch (no trust in the cached topo order):
+  driven nets, library-op arity, acyclicity, and coherence of the memoised
+  evaluation order.  ``Netlist.__init__`` enforces most of this on
+  construction; the verifier exists because plans, caches and tests hold
+  netlists long after construction, and a corrupted instance (or a future
+  in-place editing API) must be caught before a simulator trusts it.
+* :func:`verify_packed_plan` -- the derived
+  :class:`~repro.circuits.ternary.PackedPlan` arrays cross-checked against
+  each other and against the netlist: topological levelization
+  (``row_levels``/``num_levels``), def-before-use operand ordering, operand
+  and fanout index bounds, and exact coherence of the ``fused_rows``,
+  ``table_rows`` and ``reader_rows`` mirrors that the event engine's hot
+  loops trust blindly.
+* :func:`verify_generated_source` -- the compiled backend's generated
+  Python AST-parsed and validated *before* ``exec()``: single-assignment
+  net locals, def-before-use operand ordering, no name collisions with the
+  template scope, per-net overlay targeting and output-word completeness.
+
+The ``ir-verify`` lint rule runs all three over representative circuits on
+every ``repro lint`` invocation, so a broken generator or plan builder
+fails CI without any simulation running.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.circuits.netlist import UNARY_GATES, Netlist
+from repro.circuits.ternary import (
+    OP_AND,
+    OP_BUF,
+    OP_OR,
+    OP_XOR,
+    PackedPlan,
+    _F_BUF,
+    _FUSED_2IN,
+    _FUSED_3IN,
+    _fused_tables,
+    _OPCODE,
+)
+from repro.staticcheck.registry import Rule, Violation, register_rule
+
+
+class IrVerificationError(ValueError):
+    """A verifier found problems; ``problems`` holds one message each."""
+
+    def __init__(self, subject: str, problems: Sequence[str]):
+        self.subject = subject
+        self.problems = list(problems)
+        summary = "; ".join(self.problems[:3])
+        more = f" (+{len(self.problems) - 3} more)" if len(self.problems) > 3 else ""
+        super().__init__(f"{subject}: {summary}{more}")
+
+
+# ----------------------------------------------------------------------
+# Netlist
+# ----------------------------------------------------------------------
+def verify_netlist(netlist: Netlist) -> List[str]:
+    """Structural problems of a netlist (empty list = valid).
+
+    Reads the private ``_gates``/``_topo_order`` directly on purpose: the
+    public accessors serve the *cached* evaluation order, and the whole
+    point is to catch an instance whose cache no longer matches its gates.
+    """
+    problems: List[str] = []
+    inputs = netlist.inputs
+    gates: Dict = dict(netlist._gates)
+    driven = set(inputs) | set(gates)
+
+    for net in netlist.outputs:
+        if net not in driven:
+            problems.append(f"primary output {net!r} is undriven")
+    for gate in gates.values():
+        arity = len(gate.inputs)
+        if gate.gate_type in UNARY_GATES:
+            if arity != 1:
+                problems.append(
+                    f"gate {gate.output!r}: {gate.gate_type.value} takes "
+                    f"exactly 1 input, has {arity}"
+                )
+        elif arity < 2:
+            problems.append(
+                f"gate {gate.output!r}: {gate.gate_type.value} needs at "
+                f"least 2 inputs, has {arity}"
+            )
+        for net in gate.inputs:
+            if net not in driven:
+                problems.append(
+                    f"gate {gate.output!r} reads undriven net {net!r}"
+                )
+
+    # Acyclicity, from scratch (Kahn), trusting nothing cached.
+    remaining = {
+        out: sum(1 for src in gate.inputs if src in gates)
+        for out, gate in gates.items()
+    }
+    ready = [out for out, count in remaining.items() if count == 0]
+    readers: Dict[str, List[str]] = {}
+    for out, gate in gates.items():
+        for src in gate.inputs:
+            if src in gates:
+                readers.setdefault(src, []).append(out)
+    ordered = 0
+    while ready:
+        net = ready.pop()
+        ordered += 1
+        for reader in readers.get(net, ()):
+            remaining[reader] -= 1
+            if remaining[reader] == 0:
+                ready.append(reader)
+    if ordered != len(gates):
+        cyclic = sorted(out for out, count in remaining.items() if count > 0)
+        problems.append(
+            f"combinational cycle through {len(cyclic)} gate(s): "
+            f"{', '.join(cyclic[:6])}"
+        )
+        return problems  # the topo-order check below presumes a DAG
+
+    # The cached evaluation order must cover every gate, each after its
+    # gate-output operands (topological levelization consistency).
+    topo = list(netlist._topo_order)
+    if sorted(topo) != sorted(gates):
+        problems.append(
+            f"cached evaluation order covers {len(topo)} nets, "
+            f"netlist has {len(gates)} gates"
+        )
+        return problems
+    position = {net: i for i, net in enumerate(topo)}
+    for net in topo:
+        for src in gates[net].inputs:
+            if src in gates and position[src] >= position[net]:
+                problems.append(
+                    f"cached evaluation order is not topological: "
+                    f"{net!r} (position {position[net]}) reads {src!r} "
+                    f"(position {position[src]})"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# PackedPlan
+# ----------------------------------------------------------------------
+def verify_packed_plan(plan: PackedPlan) -> List[str]:
+    """Cross-coherence problems of a compiled plan (empty list = valid)."""
+    problems: List[str] = []
+    netlist = plan.netlist
+    num_nets = plan.num_nets
+    num_inputs = plan.num_inputs
+
+    if num_inputs != netlist.num_inputs:
+        problems.append(
+            f"num_inputs {num_inputs} != netlist inputs {netlist.num_inputs}"
+        )
+    if len(plan.nets) != num_nets:
+        problems.append(f"nets list has {len(plan.nets)} entries, num_nets {num_nets}")
+    if len(plan.rows) != netlist.num_gates:
+        problems.append(
+            f"{len(plan.rows)} rows for {netlist.num_gates} gates"
+        )
+    for net, index in plan.index.items():
+        if not (0 <= index < num_nets) or plan.nets[index] != net:
+            problems.append(f"index map is incoherent at net {net!r} -> {index}")
+
+    gates = netlist.gate_sequence()
+    defined: Set[int] = set(range(num_inputs))
+    levels = [0] * num_nets
+    for row_pos, (output, op, inputs, inverting) in enumerate(plan.rows):
+        where = f"row {row_pos} (net {plan.nets[output]!r})" if (
+            0 <= output < num_nets
+        ) else f"row {row_pos}"
+        if not (num_inputs <= output < num_nets):
+            problems.append(
+                f"row {row_pos}: output index {output} outside gate range "
+                f"[{num_inputs}, {num_nets})"
+            )
+            continue
+        if output in defined:
+            problems.append(f"{where}: output assigned more than once")
+        for operand in inputs:
+            if not (0 <= operand < num_nets):
+                problems.append(
+                    f"{where}: operand index {operand} out of range "
+                    f"[0, {num_nets})"
+                )
+            elif operand not in defined:
+                problems.append(
+                    f"{where}: operand {operand} ({plan.nets[operand]!r}) "
+                    f"used before definition (rows not topological)"
+                )
+        defined.add(output)
+        if op not in (OP_AND, OP_OR, OP_XOR, OP_BUF):
+            problems.append(f"{where}: unknown opcode {op}")
+        # Library coherence: the row must encode exactly its gate.
+        if row_pos < len(gates):
+            gate = gates[row_pos]
+            expected_op = _OPCODE[gate.gate_type]
+            expected_inputs = tuple(plan.index.get(n, -1) for n in gate.inputs)
+            if plan.nets[output] != gate.output:
+                problems.append(
+                    f"{where}: evaluates net {plan.nets[output]!r}, netlist "
+                    f"gate {row_pos} drives {gate.output!r}"
+                )
+            elif (op, inputs, inverting) != (
+                expected_op, expected_inputs, gate.gate_type.inverting
+            ):
+                problems.append(
+                    f"{where}: (op={op}, inputs={inputs}, inverting="
+                    f"{inverting}) does not encode gate "
+                    f"{gate.gate_type.value}({', '.join(gate.inputs)})"
+                )
+        valid_operands = [i for i in inputs if 0 <= i < num_nets]
+        level = 1 + max((levels[i] for i in valid_operands), default=0)
+        levels[output] = level
+        if row_pos < len(plan.row_levels) and plan.row_levels[row_pos] != level:
+            problems.append(
+                f"{where}: row_levels says level {plan.row_levels[row_pos]}, "
+                f"recomputed 1 + max(operand levels) = {level}"
+            )
+    if len(plan.row_levels) != len(plan.rows):
+        problems.append(
+            f"row_levels has {len(plan.row_levels)} entries for "
+            f"{len(plan.rows)} rows"
+        )
+    expected_num_levels = (max(plan.row_levels) + 1) if plan.row_levels else 1
+    if plan.num_levels != expected_num_levels:
+        problems.append(
+            f"num_levels {plan.num_levels} != max(row_levels) + 1 = "
+            f"{expected_num_levels}"
+        )
+
+    problems.extend(_verify_fused_rows(plan))
+    problems.extend(_verify_table_rows(plan))
+    problems.extend(_verify_readers_and_fanout(plan))
+
+    for position, output in enumerate(plan.output_indices):
+        if not (0 <= output < num_nets):
+            problems.append(
+                f"output_indices[{position}] = {output} out of range"
+            )
+        elif position < len(netlist.outputs) and (
+            plan.nets[output] != netlist.outputs[position]
+        ):
+            problems.append(
+                f"output_indices[{position}] points at "
+                f"{plan.nets[output]!r}, netlist output is "
+                f"{netlist.outputs[position]!r}"
+            )
+    if len(plan.output_indices) != len(netlist.outputs):
+        problems.append(
+            f"{len(plan.output_indices)} output indices for "
+            f"{len(netlist.outputs)} netlist outputs"
+        )
+    return problems
+
+
+def _verify_fused_rows(plan: PackedPlan) -> List[str]:
+    problems: List[str] = []
+    if len(plan.fused_rows) != len(plan.rows):
+        return [
+            f"fused_rows has {len(plan.fused_rows)} entries for "
+            f"{len(plan.rows)} rows"
+        ]
+    for row_pos, (output, op, inputs, inverting) in enumerate(plan.rows):
+        if op == OP_BUF:
+            expected = (output, _F_BUF, inputs[0], -1, -1, inputs, inverting)
+        elif len(inputs) == 2:
+            expected = (
+                output, _FUSED_2IN[op], inputs[0], inputs[1], -1, inputs,
+                inverting,
+            )
+        elif len(inputs) == 3:
+            expected = (
+                output, _FUSED_3IN[op], inputs[0], inputs[1], inputs[2],
+                inputs, inverting,
+            )
+        else:
+            expected = (output, op, -1, -1, -1, inputs, inverting)
+        actual = plan.fused_rows[row_pos]
+        if tuple(actual) != expected:
+            problems.append(
+                f"fused_rows[{row_pos}] is stale: {tuple(actual)!r}, "
+                f"row requires {expected!r}"
+            )
+    return problems
+
+
+def _verify_table_rows(plan: PackedPlan) -> List[str]:
+    """Check the lazily built 2-bit lookup rows (building them if needed)."""
+    problems: List[str] = []
+    trows = plan.table_rows()
+    if len(trows) != len(plan.fused_rows):
+        return [
+            f"table_rows has {len(trows)} entries for "
+            f"{len(plan.fused_rows)} fused rows"
+        ]
+    arity_of = {_F_BUF: 1}
+    arity_of.update({op: 2 for op in _FUSED_2IN.values()})
+    arity_of.update({op: 3 for op in _FUSED_3IN.values()})
+    for row_pos, fused in enumerate(plan.fused_rows):
+        output, fop, a, b, c, _inputs, inverting = fused
+        t_output, arity, ta, tb, tc, value_table, care_table = trows[row_pos]
+        if fop not in arity_of:
+            expected = (output, 0, -1, -1, -1, None, None)
+            if (t_output, arity, ta, tb, tc, value_table, care_table) != expected:
+                problems.append(
+                    f"table_rows[{row_pos}]: generic (arity>3) row must be "
+                    f"{expected!r}, is "
+                    f"{(t_output, arity, ta, tb, tc)!r}"
+                )
+            continue
+        if (t_output, arity, ta, tb, tc) != (output, arity_of[fop], a, b, c):
+            problems.append(
+                f"table_rows[{row_pos}]: (output={t_output}, arity={arity}, "
+                f"operands=({ta}, {tb}, {tc})) does not match fused row "
+                f"(output={output}, arity={arity_of[fop]}, "
+                f"operands=({a}, {b}, {c}))"
+            )
+            continue
+        expected_value, expected_care = _fused_tables(fop, inverting)
+        if value_table != expected_value or care_table != expected_care:
+            problems.append(
+                f"table_rows[{row_pos}]: lookup tables differ from the "
+                f"shared tables of (op={fop}, inverting={inverting})"
+            )
+    return problems
+
+
+def _verify_readers_and_fanout(plan: PackedPlan) -> List[str]:
+    problems: List[str] = []
+    num_nets = plan.num_nets
+    expected_readers: List[List[int]] = [[] for _ in range(num_nets)]
+    for position, (_output, _op, inputs, _inverting) in enumerate(plan.rows):
+        for net in sorted(set(i for i in inputs if 0 <= i < num_nets)):
+            expected_readers[net].append(position)
+    if len(plan.reader_rows) != num_nets:
+        problems.append(
+            f"reader_rows has {len(plan.reader_rows)} entries for "
+            f"{num_nets} nets"
+        )
+    else:
+        for net in range(num_nets):
+            if tuple(plan.reader_rows[net]) != tuple(expected_readers[net]):
+                problems.append(
+                    f"reader_rows[{net}] ({plan.nets[net]!r}) is "
+                    f"{tuple(plan.reader_rows[net])!r}, rows reading it are "
+                    f"{tuple(expected_readers[net])!r}"
+                )
+    fanout = plan.netlist.fanout()
+    if len(plan.fanout) != num_nets:
+        problems.append(
+            f"fanout has {len(plan.fanout)} entries for {num_nets} nets"
+        )
+    else:
+        for net_index, net in enumerate(plan.nets):
+            expected = tuple(plan.index.get(r, -1) for r in fanout.get(net, ()))
+            if tuple(plan.fanout[net_index]) != expected:
+                problems.append(
+                    f"fanout[{net_index}] ({net!r}) is "
+                    f"{tuple(plan.fanout[net_index])!r}, netlist says "
+                    f"{expected!r}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Generated source
+# ----------------------------------------------------------------------
+#: Parameters of each generated function, in order (the template scope --
+#: the only non-``v``/``c`` names the body may touch).
+_GENERATED_PARAMS = {
+    "binary_full": ("V", "mask"),
+    "binary_diff": ("V", "mask", "fi", "fw"),
+    "ternary_full": ("V", "C", "mask", "fi", "fm", "fv"),
+}
+
+_NET_LOCAL_RE = re.compile(r"^([vc])(\d+)$")
+
+
+def verify_generated_source(
+    source: str, plan: PackedPlan, name: str
+) -> List[str]:
+    """Problems of one generated evaluator function (empty list = valid).
+
+    Validates, before any ``exec()``:
+
+    * the module holds exactly one function, named ``name``, with the
+      template's parameter list;
+    * **single-assignment locals**: every ``v<i>``/``c<i>`` net local is
+      defined by exactly one top-level assignment (fault overlays may
+      conditionally rewrite a net, but only under an ``if fi == <i>``
+      guard targeting that same net);
+    * **def-before-use ordering**: the defining expression of a net local
+      only reads parameters and already-defined locals -- i.e. the emitted
+      rows respect the plan's topological order;
+    * **no template-scope collisions**: nothing assigns to a parameter and
+      no name outside parameters + net locals is referenced (an injected
+      builtin call or stray global is a verification failure, which also
+      makes the check a cheap guard against template injection);
+    * **output-word completeness**: full passes write every gate net back
+      into ``V`` (and ``C``), the diff function's return expression XORs
+      every plan output against the good block.
+    """
+    expected_params = _GENERATED_PARAMS.get(name)
+    if expected_params is None:
+        return [f"unknown generated function {name!r}"]
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [f"{name}: generated source does not parse: {error}"]
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+        return [f"{name}: generated module must hold exactly one function"]
+    fn = tree.body[0]
+    problems: List[str] = []
+    if fn.name != name:
+        problems.append(f"{name}: function is named {fn.name!r}")
+    params = tuple(a.arg for a in fn.args.args)
+    if params != expected_params:
+        problems.append(
+            f"{name}: parameters {params!r} != template {expected_params!r}"
+        )
+    param_set = set(expected_params)
+    defined: Set[str] = set()
+    written_back: Dict[str, Set[int]] = {"V": set(), "C": set()}
+    returned: Optional[ast.Return] = None
+
+    def check_loads(node: ast.AST, lineno: int, context: str) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                ident = sub.id
+                if ident in param_set:
+                    continue
+                match = _NET_LOCAL_RE.match(ident)
+                if match is None:
+                    problems.append(
+                        f"{name}:{lineno}: {context} references "
+                        f"{ident!r}, outside the template scope"
+                    )
+                elif ident not in defined:
+                    problems.append(
+                        f"{name}:{lineno}: {context} reads {ident!r} "
+                        f"before its definition (def-before-use violated)"
+                    )
+
+    def overlay_net(test: ast.expr) -> Optional[int]:
+        """The net index of an ``fi == <k>`` overlay guard, else None."""
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "fi"
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, int)
+        ):
+            return test.comparators[0].value
+        return None
+
+    for stmt in fn.body:
+        lineno = stmt.lineno
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                ident = target.id
+                if ident in param_set:
+                    problems.append(
+                        f"{name}:{lineno}: assignment to parameter "
+                        f"{ident!r} collides with the template scope"
+                    )
+                    continue
+                if _NET_LOCAL_RE.match(ident) is None:
+                    problems.append(
+                        f"{name}:{lineno}: assignment to {ident!r}, "
+                        f"outside the net-local namespace"
+                    )
+                    continue
+                if ident in defined:
+                    problems.append(
+                        f"{name}:{lineno}: net local {ident!r} assigned "
+                        f"twice (single-assignment violated)"
+                    )
+                check_loads(stmt.value, lineno, f"definition of {ident!r}")
+                defined.add(ident)
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in written_back
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, int)
+            ):
+                index = target.slice.value
+                word = target.value.id
+                check_loads(stmt.value, lineno, f"write-back {word}[{index}]")
+                expected_local = f"{'v' if word == 'V' else 'c'}{index}"
+                if not (
+                    isinstance(stmt.value, ast.Name)
+                    and stmt.value.id == expected_local
+                ):
+                    problems.append(
+                        f"{name}:{lineno}: {word}[{index}] must be written "
+                        f"from {expected_local!r}"
+                    )
+                written_back[word].add(index)
+            else:
+                problems.append(
+                    f"{name}:{lineno}: unexpected assignment target"
+                )
+        elif isinstance(stmt, ast.If):
+            net = overlay_net(stmt.test)
+            if net is None or stmt.orelse:
+                problems.append(
+                    f"{name}:{lineno}: only 'if fi == <net>' fault "
+                    f"overlays are allowed as conditionals"
+                )
+                continue
+            for inner in stmt.body:
+                target = getattr(inner, "target", None) or (
+                    inner.targets[0]
+                    if isinstance(inner, ast.Assign) and len(inner.targets) == 1
+                    else None
+                )
+                if not isinstance(
+                    inner, (ast.Assign, ast.AugAssign)
+                ) or not isinstance(target, ast.Name):
+                    problems.append(
+                        f"{name}:{inner.lineno}: overlay body must assign "
+                        f"a net local"
+                    )
+                    continue
+                match = _NET_LOCAL_RE.match(target.id)
+                if match is None or int(match.group(2)) != net:
+                    problems.append(
+                        f"{name}:{inner.lineno}: overlay guarded by "
+                        f"fi == {net} writes {target.id!r}"
+                    )
+                elif target.id not in defined:
+                    problems.append(
+                        f"{name}:{inner.lineno}: overlay rewrites "
+                        f"{target.id!r} before its definition"
+                    )
+                check_loads(inner.value, inner.lineno, "overlay expression")
+        elif isinstance(stmt, ast.Return):
+            if name != "binary_diff":
+                problems.append(
+                    f"{name}:{lineno}: unexpected return (full passes "
+                    f"write in place)"
+                )
+            elif stmt.value is None:
+                problems.append(f"{name}:{lineno}: bare return")
+            else:
+                returned = stmt
+                check_loads(stmt.value, lineno, "return expression")
+        else:
+            problems.append(
+                f"{name}:{lineno}: unexpected "
+                f"{type(stmt).__name__} statement"
+            )
+
+    problems.extend(
+        _verify_completeness(name, plan, defined, written_back, returned)
+    )
+    return problems
+
+
+def _verify_completeness(
+    name: str,
+    plan: PackedPlan,
+    defined: Set[str],
+    written_back: Dict[str, Set[int]],
+    returned: Optional[ast.Return],
+) -> List[str]:
+    """Output-word completeness of one generated function."""
+    problems: List[str] = []
+    prefixes = ("v", "c") if name == "ternary_full" else ("v",)
+    for i in range(plan.num_inputs):
+        for prefix in prefixes:
+            if f"{prefix}{i}" not in defined:
+                problems.append(
+                    f"{name}: input {plan.nets[i]!r} (index {i}) is never "
+                    f"seeded into {prefix}{i}"
+                )
+    gate_indices = [row[0] for row in plan.rows]
+    for output in gate_indices:
+        for prefix in prefixes:
+            if f"{prefix}{output}" not in defined:
+                problems.append(
+                    f"{name}: gate net {plan.nets[output]!r} (index "
+                    f"{output}) is never evaluated into {prefix}{output}"
+                )
+    if name in ("binary_full", "ternary_full"):
+        words = ("V", "C") if name == "ternary_full" else ("V",)
+        for word in words:
+            missing = [i for i in gate_indices if i not in written_back[word]]
+            if missing:
+                nets = ", ".join(plan.nets[i] for i in missing[:4])
+                problems.append(
+                    f"{name}: {len(missing)} gate word(s) never written "
+                    f"back into {word} (output-word completeness): {nets}"
+                )
+    else:  # binary_diff: the return expression must cover every output
+        covered: Set[int] = set()
+        if returned is not None and returned.value is not None:
+            for sub in ast.walk(returned.value):
+                if isinstance(sub, ast.Name):
+                    match = _NET_LOCAL_RE.match(sub.id)
+                    if match and match.group(1) == "v":
+                        covered.add(int(match.group(2)))
+            missing = [o for o in plan.output_indices if o not in covered]
+            if missing:
+                nets = ", ".join(plan.nets[o] for o in missing[:4])
+                problems.append(
+                    f"{name}: detection word ignores "
+                    f"{len(missing)} primary output(s): {nets}"
+                )
+        else:
+            problems.append(f"{name}: missing detection-word return")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# The ir-verify rule: self-check over representative circuits
+# ----------------------------------------------------------------------
+def _run_ir_verify(context) -> List[Violation]:
+    """Verify netlist/plan/codegen invariants on representative circuits.
+
+    ``repro lint`` has no runtime artifacts to inspect, so the rule builds
+    a spread of circuits (every gate arity class, both table and generic
+    rows, fixed seeds) and runs all three verifiers over each -- the same
+    functions the compiled backend and the mutation tests call.  Any
+    violation means the *builders* (netlist construction, plan compilation,
+    codegen) emit broken IR for some shape, caught here before a simulation
+    or a fuzz case ever runs one.
+    """
+    from repro.circuits.backends.compiled import (
+        gen_binary_diff,
+        gen_binary_full,
+        gen_ternary_full,
+    )
+    from repro.circuits.generator import random_netlist
+    from repro.circuits.netlist import Gate, GateType
+    from repro.circuits.ternary import packed_plan
+
+    wide = Netlist(
+        "lint-wide",
+        inputs=["a", "b", "c", "d", "e"],
+        outputs=["y", "z"],
+        gates=[
+            Gate("w", GateType.AND, ("a", "b", "c", "d")),
+            Gate("x", GateType.XNOR, ("w", "e")),
+            Gate("y", GateType.NOR, ("w", "x", "a", "e")),
+            Gate("z", GateType.NOT, ("y",)),
+        ],
+    )
+    samples = [
+        wide,
+        random_netlist("lint-g60", num_inputs=8, num_gates=60, seed=1),
+        random_netlist("lint-g120", num_inputs=12, num_gates=120, seed=2),
+    ]
+    violations: List[Violation] = []
+    rule = RULE_IR_VERIFY
+    for netlist in samples:
+        pseudo = f"<ir:{netlist.name}>"
+        for problem in verify_netlist(netlist):
+            violations.append(rule.violation(pseudo, 1, problem))
+        plan = packed_plan(netlist)
+        for problem in verify_packed_plan(plan):
+            violations.append(rule.violation(pseudo, 1, problem))
+        for generator, fn_name in (
+            (gen_binary_full, "binary_full"),
+            (gen_binary_diff, "binary_diff"),
+            (gen_ternary_full, "ternary_full"),
+        ):
+            source = generator(plan)
+            for problem in verify_generated_source(source, plan, fn_name):
+                violations.append(
+                    rule.violation(f"<codegen:{netlist.name}>", 1, problem)
+                )
+    return violations
+
+
+RULE_IR_VERIFY = register_rule(
+    Rule(
+        name="ir-verify",
+        description=(
+            "netlist/PackedPlan structural invariants and compiled-backend "
+            "codegen validity over representative circuits"
+        ),
+        run=_run_ir_verify,
+        fix_hint=(
+            "the IR builders emit inconsistent structures; fix the builder "
+            "(Netlist/PackedPlan/gen_*) rather than the verifier"
+        ),
+    )
+)

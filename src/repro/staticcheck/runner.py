@@ -1,0 +1,152 @@
+"""The lint runner: rule selection, suppression, formatting, exit codes.
+
+``repro lint`` is a thin CLI wrapper around :func:`run_lint`.  The exit
+contract (enforced by tests and relied on by the CI job):
+
+* **0** -- every selected rule ran and found nothing;
+* **1** -- violations found (each printed as ``path:line: rule-id
+  message``, one per line, parseable by CI annotations);
+* **2** -- analyzer internal error: a rule raised, a file was unparseable
+  or an unknown rule was selected.  Violations found before the error are
+  still reported, but a broken analyzer never masquerades as a clean run.
+
+Suppression happens here, not in the rules: a rule reports everything it
+sees, and the runner drops findings whose file carries a matching
+``# repro-lint: disable=<rule>`` on (or for) that line.  Violations with
+pseudo-paths (the ``ir-verify`` self-check) are not suppressible.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.staticcheck.registry import (
+    RULES,
+    LintContext,
+    SourceFile,
+    Violation,
+)
+from repro.telemetry import get_recorder
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    violations: List[Violation]
+    errors: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+
+def run_lint(
+    root: Path,
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the selected rules over ``paths`` (default: ``src/`` and
+    ``tests/`` under ``root``)."""
+    if paths is None:
+        paths = [p for p in (root / "src", root / "tests") if p.is_dir()]
+    context = LintContext.load(root, list(paths))
+    errors = list(context.errors)
+
+    selected = list(rules) if rules else list(RULES)
+    unknown = [name for name in selected if name not in RULES]
+    if unknown:
+        errors.append(
+            f"unknown rule(s): {', '.join(unknown)} "
+            f"(available: {', '.join(RULES)})"
+        )
+        selected = [name for name in selected if name in RULES]
+
+    raw: List[Violation] = []
+    rules_run: List[str] = []
+    for name in selected:
+        rule = RULES[name]
+        try:
+            raw.extend(rule.run(context))
+        except Exception:  # a raising rule is an analyzer bug, not a finding
+            errors.append(
+                f"rule {name!r} crashed:\n{traceback.format_exc().rstrip()}"
+            )
+        else:
+            rules_run.append(name)
+
+    by_rel_path: Dict[str, SourceFile] = {f.rel_path: f for f in context.files}
+    kept: List[Violation] = []
+    suppressed = 0
+    for violation in raw:
+        sf = by_rel_path.get(violation.path)
+        if sf is not None and sf.suppressed(violation.rule, violation.line):
+            suppressed += 1
+            continue
+        kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
+
+    recorder = get_recorder()
+    recorder.counter("lint.files", len(context.files))
+    recorder.counter("lint.violations", len(kept))
+
+    return LintReport(
+        violations=kept,
+        errors=errors,
+        files_checked=len(context.files),
+        rules_run=rules_run,
+        suppressed=suppressed,
+    )
+
+
+def format_text(report: LintReport, fix_hints: bool = False) -> str:
+    """One line per violation; a trailing summary line; errors at the end."""
+    lines: List[str] = []
+    for violation in report.violations:
+        lines.append(violation.format())
+        if fix_hints and violation.hint:
+            lines.append(f"    hint: {violation.hint}")
+    summary = (
+        f"{len(report.violations)} violation(s) in {report.files_checked} "
+        f"file(s), {len(report.rules_run)} rule(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    lines.append(summary)
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order, sorted violations)."""
+    return json.dumps(
+        {
+            "violations": [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "rule": v.rule,
+                    "message": v.message,
+                    "hint": v.hint,
+                }
+                for v in report.violations
+            ],
+            "errors": report.errors,
+            "files_checked": report.files_checked,
+            "rules_run": report.rules_run,
+            "suppressed": report.suppressed,
+            "exit_code": report.exit_code,
+        },
+        indent=2,
+        sort_keys=False,
+    )

@@ -12,7 +12,7 @@ values) because realistic cubes specify only a few percent of their bits.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

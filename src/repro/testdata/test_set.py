@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import hashlib
 import statistics
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.lru import LRUCache
 from repro.testdata.cube import TestCube
 
 
@@ -53,10 +53,8 @@ class TestSet:
     #: ``(fingerprint, num_cells)`` so re-parsed copies of one test set
     #: (common across campaign configs) reuse one matrix pair.  Bounded
     #: LRU; see :meth:`packed_matrices`.
-    _PACKED_MATRIX_CACHE: "OrderedDict[Tuple[str, int], Tuple[np.ndarray, np.ndarray]]" = (
-        OrderedDict()
-    )
     _PACKED_MATRIX_CACHE_SIZE = 8
+    _PACKED_MATRIX_CACHE: LRUCache = LRUCache(_PACKED_MATRIX_CACHE_SIZE)
 
     def __init__(self, name: str, cubes: Sequence[TestCube]):
         if not cubes:
@@ -221,11 +219,7 @@ class TestSet:
                 cares.setflags(write=False)
                 values.setflags(write=False)
                 cached = (cares, values)
-                cache[key] = cached
-                while len(cache) > TestSet._PACKED_MATRIX_CACHE_SIZE:
-                    cache.popitem(last=False)
-            else:
-                cache.move_to_end(key)
+                cache.put(key, cached)
             self._packed_matrices = cached
         return cached
 

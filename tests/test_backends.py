@@ -200,21 +200,25 @@ class TestDeprecationShims:
     def test_use_packed_false_selects_reference(self):
         netlist = random_netlist("shim", num_inputs=6, num_gates=20, seed=1)
         with pytest.warns(DeprecationWarning, match="use_packed=False"):
+            # repro-lint: disable=deprecated-flags
             atpg = PodemAtpg(netlist, use_packed=False)
         assert atpg.engine == "reference"
 
     def test_use_events_false_selects_packed(self):
         netlist = random_netlist("shim", num_inputs=6, num_gates=20, seed=1)
         with pytest.warns(DeprecationWarning, match="engine='packed'"):
+            # repro-lint: disable=deprecated-flags
             atpg = PodemAtpg(netlist, use_events=False)
         assert atpg.engine == "packed"
 
     def test_use_cones_shim_on_fault_simulator(self):
         netlist = random_netlist("shim", num_inputs=6, num_gates=20, seed=1)
         with pytest.warns(DeprecationWarning, match="use_cones=False"):
+            # repro-lint: disable=deprecated-flags
             simulator = FaultSimulator(netlist, use_cones=False)
         assert simulator.engine == "packed"
         with pytest.warns(DeprecationWarning, match="use_cones=True"):
+            # repro-lint: disable=deprecated-flags
             simulator = FaultSimulator(netlist, use_cones=True)
         assert simulator.engine == "events"
 
@@ -243,6 +247,7 @@ class TestDeprecationShims:
     def test_batch_fills_shim_on_run(self):
         netlist = random_netlist("shim", num_inputs=6, num_gates=20, seed=2)
         with pytest.warns(DeprecationWarning, match="batch_fills"):
+            # repro-lint: disable=deprecated-flags
             shimmed = PodemAtpg(netlist).run(fill_seed=3, batch_fills=False)
         plain = PodemAtpg(netlist).run(fill_seed=3, fills="per-pattern")
         assert shimmed.test_set.cubes == plain.test_set.cubes

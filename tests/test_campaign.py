@@ -14,7 +14,7 @@ from repro.campaign.report import (
     campaign_report,
     improvement_grids,
 )
-from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec, TestSource
 from repro.campaign.store import ResultStore, StoredResult, result_key
 from repro.cli import main

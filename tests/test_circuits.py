@@ -6,13 +6,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.circuits.atpg import PodemAtpg, generate_test_set_for_netlist
 from repro.circuits.bench import parse_bench, write_bench
+from repro.circuits.fault_sim import FaultSimulator
 from repro.circuits.faults import (
     StuckAtFault,
     all_faults,
     collapse_faults,
     fault_coverage,
 )
-from repro.circuits.fault_sim import FaultSimulator
 from repro.circuits.generator import random_netlist
 from repro.circuits.library import (
     builtin_circuits,

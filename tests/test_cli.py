@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.cli import build_parser, main
 from repro.circuits.bench import write_bench
 from repro.circuits.library import c17
+from repro.cli import build_parser, main
 from repro.testdata.profiles import custom_profile
 from repro.testdata.synthetic import generate_test_set
 

@@ -22,7 +22,6 @@ from repro.campaign.store import ResultStore
 from repro.config import CompressionConfig
 from repro.context import CompressionContext, ContextStats, SubstrateKey
 from repro.encoding.encoder import ReseedingEncoder
-from repro.encoding.equations import EquationSystem
 from repro.encoding.substrate import EncoderSubstrate
 from repro.pipeline import compress
 from repro.testdata.profiles import custom_profile

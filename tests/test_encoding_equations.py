@@ -3,12 +3,12 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.encoding.equations import EquationSystem
 from repro.gf2.bitvec import BitVector
 from repro.gf2.primitive import default_feedback_polynomial
 from repro.lfsr.lfsr import LFSR
 from repro.lfsr.phase_shifter import PhaseShifter
 from repro.scan.architecture import ScanArchitecture
-from repro.encoding.equations import EquationSystem
 from repro.testdata.cube import TestCube
 
 

@@ -1,6 +1,5 @@
 """Tests for the window-based and classical reseeding encoders."""
 
-import random
 
 import pytest
 

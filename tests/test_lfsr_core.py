@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gf2.bitvec import BitVector
-from repro.gf2.polynomial import GF2Polynomial
 from repro.gf2.primitive import primitive_polynomial
 from repro.lfsr.lfsr import LFSR, LFSRMode
 from repro.lfsr.phase_shifter import PhaseShifter

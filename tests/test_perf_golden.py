@@ -3,14 +3,13 @@
 The perf PR rewrote the encoding solvability scan (batched numpy trials +
 residual caching) and the fault simulator (wide words + fanout-cone
 evaluation) while keeping the *reference* implementations in-tree
-(``batch_trials=False`` / ``use_cones=False``).  These tests pin the
+(``batch_trials=False`` / ``engine="packed"``).  These tests pin the
 contract that made that rewrite safe: on identical inputs the optimized
 paths produce bit-identical results, not merely statistically similar ones.
 """
 
 import random
 
-import pytest
 
 from repro.circuits.atpg import generate_test_set_for_netlist
 from repro.circuits.fault_sim import FaultSimulator
@@ -81,8 +80,8 @@ def test_faultsim_identical_detection_words_without_dropping():
     """word_width 64 dense vs 256 cones: identical per-fault words."""
     netlist = random_netlist("golden", num_inputs=24, num_gates=120, seed=5)
     vectors = _vectors(netlist, 200)
-    reference = FaultSimulator(netlist, word_width=64, use_cones=False)
-    optimized = FaultSimulator(netlist, word_width=256, use_cones=True)
+    reference = FaultSimulator(netlist, word_width=64, engine="packed")
+    optimized = FaultSimulator(netlist, word_width=256, engine="events")
     ref_result = reference.simulate_vectors(list(vectors), drop=False)
     opt_result = optimized.simulate_vectors(list(vectors), drop=False)
     # Without dropping, every fault sees every pattern, so the full
@@ -94,8 +93,8 @@ def test_faultsim_identical_detected_set_with_dropping():
     """With fault dropping the detected-fault sets still coincide."""
     netlist = parity_tree(12)
     vectors = _vectors(netlist, 96, seed=2)
-    reference = FaultSimulator(netlist, word_width=64, use_cones=False)
-    optimized = FaultSimulator(netlist, word_width=256, use_cones=True)
+    reference = FaultSimulator(netlist, word_width=64, engine="packed")
+    optimized = FaultSimulator(netlist, word_width=256, engine="events")
     reference.simulate_vectors(list(vectors), drop=True)
     optimized.simulate_vectors(list(vectors), drop=True)
     assert set(reference.detected_faults) == set(optimized.detected_faults)
@@ -106,8 +105,8 @@ def test_faultsim_input_and_gate_faults_match_on_builtin():
     """Cone evaluation handles input faults and gate faults alike."""
     netlist = carry_ripple_adder(4)
     vectors = _vectors(netlist, 64, seed=9)
-    reference = FaultSimulator(netlist, word_width=64, use_cones=False)
-    optimized = FaultSimulator(netlist, word_width=64, use_cones=True)
+    reference = FaultSimulator(netlist, word_width=64, engine="packed")
+    optimized = FaultSimulator(netlist, word_width=64, engine="events")
     ref_result = reference.simulate_vectors(list(vectors), drop=False)
     opt_result = optimized.simulate_vectors(list(vectors), drop=False)
     assert ref_result.detected == opt_result.detected

@@ -1,0 +1,491 @@
+"""Tests for the static verification subsystem (``repro lint``).
+
+Three groups, mirroring the analyzer layers:
+
+* **IR/codegen mutation tests** -- plant known corruption classes into a
+  netlist, its :class:`PackedPlan` and the compiled backend's generated
+  source, and assert each is caught with a precise, actionable message
+  (a verifier that only says "invalid" is useless at 20k gates).
+* **Source-rule tests** -- plant one violation per rule into a throwaway
+  mini-repo and assert the rule reports it with rule-id and file:line,
+  plus the suppression-comment and clean-HEAD contracts.
+* **CLI/exit-code tests** -- ``repro lint`` exits 0 clean, 1 on
+  violations, 2 on analyzer internal error, with parseable output.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuits.backends.compiled import (
+    CompiledEvaluator,
+    gen_binary_diff,
+    gen_binary_full,
+    gen_ternary_full,
+    set_codegen_verify,
+)
+from repro.circuits.generator import random_netlist
+from repro.circuits.netlist import Gate, GateType, Netlist
+from repro.circuits.ternary import PackedPlan
+from repro.cli import main
+from repro.staticcheck import (
+    IrVerificationError,
+    RULES,
+    run_lint,
+    verify_generated_source,
+    verify_netlist,
+    verify_packed_plan,
+)
+from repro.telemetry import Recorder, use_recorder
+
+
+def _fresh_netlist(seed: int = 3) -> Netlist:
+    # Fresh instance per test: PackedPlan mutations must not leak into the
+    # per-netlist plan caches shared with other tests.
+    return random_netlist("lintmut", num_inputs=8, num_gates=40, seed=seed)
+
+
+def _tiny_netlist() -> Netlist:
+    return Netlist(
+        "tiny",
+        inputs=["a", "b"],
+        outputs=["y"],
+        gates=[
+            Gate("x", GateType.AND, ("a", "b")),
+            Gate("y", GateType.OR, ("x", "a")),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# IR verifiers: clean inputs pass
+# ----------------------------------------------------------------------
+class TestVerifiersPassOnValidIr:
+    def test_netlist_and_plan_clean(self):
+        netlist = _fresh_netlist()
+        assert verify_netlist(netlist) == []
+        assert verify_packed_plan(PackedPlan(netlist)) == []
+
+    def test_generated_sources_clean(self):
+        plan = PackedPlan(_fresh_netlist())
+        for generator, name in (
+            (gen_binary_full, "binary_full"),
+            (gen_binary_diff, "binary_diff"),
+            (gen_ternary_full, "ternary_full"),
+        ):
+            assert verify_generated_source(generator(plan), plan, name) == []
+
+
+# ----------------------------------------------------------------------
+# IR/codegen mutation classes (>= 6, each with a precise message)
+# ----------------------------------------------------------------------
+class TestIrCorruptionClasses:
+    def test_cycle_detected(self):
+        netlist = _tiny_netlist()
+        # x = AND(a, b)  ->  x = AND(y, b): the pair x <-> y now cycles.
+        netlist._gates["x"] = Gate("x", GateType.AND, ("y", "b"))
+        problems = verify_netlist(netlist)
+        assert any("combinational cycle" in p and "x" in p for p in problems)
+
+    def test_stale_evaluation_order_detected(self):
+        netlist = _tiny_netlist()
+        netlist._topo_order = ["y", "x"]  # reversed: y reads x
+        problems = verify_netlist(netlist)
+        assert any("not topological" in p and "'x'" in p for p in problems)
+
+    def test_wrong_level_detected(self):
+        plan = PackedPlan(_fresh_netlist())
+        plan.row_levels[5] += 1
+        problems = verify_packed_plan(plan)
+        assert any(
+            "row_levels says level" in p and "row 5" in p for p in problems
+        )
+
+    def test_stale_fused_rows_detected(self):
+        plan = PackedPlan(_fresh_netlist())
+        output, fop, a, b, c, inputs, inverting = plan.fused_rows[4]
+        plan.fused_rows[4] = (output, fop, a ^ 1, b, c, inputs, inverting)
+        problems = verify_packed_plan(plan)
+        assert any("fused_rows[4] is stale" in p for p in problems)
+
+    def test_out_of_range_operand_detected(self):
+        plan = PackedPlan(_fresh_netlist())
+        output, op, inputs, inverting = plan.rows[3]
+        plan.rows[3] = (output, op, (plan.num_nets + 7,) + inputs[1:], inverting)
+        problems = verify_packed_plan(plan)
+        assert any(
+            f"operand index {plan.num_nets + 7} out of range" in p
+            for p in problems
+        )
+
+    def test_rows_not_topological_detected(self):
+        plan = PackedPlan(_tiny_netlist())
+        plan.rows[0], plan.rows[1] = plan.rows[1], plan.rows[0]
+        plan.row_levels[0], plan.row_levels[1] = (
+            plan.row_levels[1], plan.row_levels[0],
+        )
+        problems = verify_packed_plan(plan)
+        assert any("used before definition" in p for p in problems)
+
+    def test_stale_table_rows_detected(self):
+        plan = PackedPlan(_tiny_netlist())
+        trows = plan.table_rows()
+        output, arity, a, b, c, value_table, care_table = trows[0]
+        trows[0] = (output, arity, a, b, c, list(value_table), [0] * 16)
+        problems = verify_packed_plan(plan)
+        assert any(
+            "table_rows[0]" in p and "differ from the shared tables" in p
+            for p in problems
+        )
+
+    def test_duplicate_codegen_local_detected(self):
+        plan = PackedPlan(_tiny_netlist())
+        lines = gen_binary_full(plan).splitlines()
+        gate_line = next(
+            i for i, line in enumerate(lines)
+            if line.startswith(f"    v{plan.num_inputs} = ")
+        )
+        lines.insert(gate_line + 1, lines[gate_line])
+        problems = verify_generated_source(
+            "\n".join(lines), plan, "binary_full"
+        )
+        assert any(
+            f"'v{plan.num_inputs}' assigned twice" in p for p in problems
+        )
+
+    def test_missing_output_assignment_detected(self):
+        plan = PackedPlan(_tiny_netlist())
+        lines = gen_binary_full(plan).splitlines()
+        dropped = [line for line in lines if not line.startswith("    V[")]
+        problems = verify_generated_source(
+            "\n".join(dropped), plan, "binary_full"
+        )
+        assert any("never written back into V" in p for p in problems)
+
+    def test_def_before_use_in_codegen_detected(self):
+        plan = PackedPlan(_tiny_netlist())
+        lines = gen_binary_full(plan).splitlines()
+        # Hoist the last gate assignment above the first: it reads a local
+        # that is no longer defined yet.
+        assigns = [
+            i for i, line in enumerate(lines)
+            if line.startswith("    v") and "=" in line
+        ]
+        lines.insert(assigns[0], lines.pop(assigns[-1]))
+        problems = verify_generated_source(
+            "\n".join(lines), plan, "binary_full"
+        )
+        assert any("def-before-use" in p for p in problems)
+
+    def test_template_scope_collision_detected(self):
+        plan = PackedPlan(_tiny_netlist())
+        source = gen_binary_full(plan) + "\n    mask = 0"
+        problems = verify_generated_source(source, plan, "binary_full")
+        assert any("collides with the template scope" in p for p in problems)
+
+    def test_foreign_name_reference_detected(self):
+        plan = PackedPlan(_tiny_netlist())
+        source = gen_binary_full(plan).replace(
+            "    v0 = V[0]", "    v0 = __import__('os') and V[0]", 1
+        )
+        problems = verify_generated_source(source, plan, "binary_full")
+        assert any("outside the template scope" in p for p in problems)
+
+    def test_diff_return_must_cover_outputs(self):
+        plan = PackedPlan(_tiny_netlist())
+        lines = gen_binary_diff(plan).splitlines()
+        lines[-1] = "    return 0 & mask"
+        problems = verify_generated_source(
+            "\n".join(lines), plan, "binary_diff"
+        )
+        assert any("detection word ignores" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# The verify=True hook in the compiled backend
+# ----------------------------------------------------------------------
+class TestCodegenVerifyHook:
+    def test_valid_codegen_builds_under_verify(self):
+        evaluator = CompiledEvaluator(_fresh_netlist(), verify=True)
+        evaluator.binary_full()
+        evaluator.binary_diff()
+        evaluator.ternary_full()
+
+    def test_corrupted_codegen_raises_before_exec(self, monkeypatch):
+        import repro.circuits.backends.compiled as compiled_module
+
+        netlist = _tiny_netlist()
+        plan = PackedPlan(netlist)
+        broken = "\n".join(gen_binary_full(plan).splitlines()[:-1])
+        monkeypatch.setattr(
+            compiled_module, "gen_binary_full", lambda plan: broken
+        )
+        evaluator = CompiledEvaluator(netlist, verify=True)
+        with pytest.raises(IrVerificationError) as excinfo:
+            evaluator.binary_full()
+        assert "never written back" in str(excinfo.value)
+        assert excinfo.value.problems
+
+    def test_env_toggle(self, monkeypatch):
+        from repro.circuits.backends.compiled import codegen_verify_enabled
+
+        set_codegen_verify(None)
+        monkeypatch.setenv("REPRO_VERIFY_CODEGEN", "1")
+        assert codegen_verify_enabled() is True
+        monkeypatch.setenv("REPRO_VERIFY_CODEGEN", "0")
+        assert codegen_verify_enabled() is False
+        set_codegen_verify(True)
+        assert codegen_verify_enabled() is True
+        set_codegen_verify(None)
+
+
+# ----------------------------------------------------------------------
+# Source rules over a planted mini-repo (>= 4 violation classes)
+# ----------------------------------------------------------------------
+def _write(root: Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+class TestSourceRules:
+    def test_deprecated_flag_reported_with_location(self, tmp_path):
+        _write(
+            tmp_path, "src/bad_flags.py",
+            "def f(atpg):\n"
+            "    atpg.run(batch_fills=True)\n"
+            "    sim = FaultSimulator(n, use_cones=False)\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        found = {(v.path, v.line) for v in report.violations
+                 if v.rule == "deprecated-flags"}
+        assert ("src/bad_flags.py", 2) in found
+        assert ("src/bad_flags.py", 3) in found
+
+    def test_forwarding_shim_not_flagged(self, tmp_path):
+        _write(
+            tmp_path, "src/shim.py",
+            "def run(batch_fills=None):\n"
+            "    inner.run(batch_fills=batch_fills)\n"
+            "    resolve_engine(use_packed=False)\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        assert not [v for v in report.violations
+                    if v.rule == "deprecated-flags"]
+
+    def test_bare_store_open_reported(self, tmp_path):
+        _write(
+            tmp_path, "src/peek.py",
+            "def peek(d):\n"
+            "    with open(d / 'results.jsonl') as fh:\n"
+            "        return fh.read()\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        hits = [v for v in report.violations if v.rule == "store-open"]
+        assert hits and hits[0].path == "src/peek.py" and hits[0].line == 2
+
+    def test_store_open_exempt_in_store_module(self, tmp_path):
+        _write(
+            tmp_path, "src/repro/campaign/store.py",
+            "def load(d):\n"
+            "    return open(d / 'results.jsonl')\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        assert not [v for v in report.violations if v.rule == "store-open"]
+
+    def test_unordered_iteration_in_cache_key_reported(self, tmp_path):
+        _write(
+            tmp_path, "src/keys.py",
+            "def cache_key(nets):\n"
+            "    parts = [str(n) for n in set(nets)]\n"
+            "    return '|'.join(parts)\n"
+            "def cache_key_ok(nets):\n"
+            "    return '|'.join(str(n) for n in sorted(set(nets)))\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        hits = [v for v in report.violations
+                if v.rule == "unordered-iteration"]
+        assert len(hits) == 1
+        assert hits[0].line == 2 and "cache_key" in hits[0].message
+
+    def test_unbounded_module_cache_reported(self, tmp_path):
+        _write(
+            tmp_path, "src/caches.py",
+            "from collections import OrderedDict\n"
+            "from repro.lru import LRUCache\n"
+            "_BAD_CACHE = {}\n"
+            "_WORSE_CACHE = OrderedDict()\n"
+            "_GOOD_CACHE = LRUCache(8)\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        hits = {(v.line, v.message) for v in report.violations
+                if v.rule == "bounded-cache"}
+        assert {line for line, _ in hits} == {3, 4}
+
+    def test_span_outside_with_reported(self, tmp_path):
+        _write(
+            tmp_path, "src/spans.py",
+            "def f(rec):\n"
+            "    s = rec.span('work')\n"
+            "    with rec.span('ok'):\n"
+            "        pass\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        hits = [v for v in report.violations if v.rule == "span-pairing"]
+        assert len(hits) == 1 and hits[0].line == 2
+
+    def test_worker_shared_state_reported_and_lock_exempt(self, tmp_path):
+        _write(
+            tmp_path, "src/repro/campaign/runner.py",
+            "from repro.jobs import push\n",
+        )
+        _write(
+            tmp_path, "src/repro/jobs.py",
+            "import threading\n"
+            "PENDING = {}\n"
+            "GUARDED = {}\n"
+            "_LOCK = threading.Lock()\n"
+            "def push(key, value):\n"
+            "    PENDING[key] = value\n"
+            "def push_guarded(key, value):\n"
+            "    with _LOCK:\n"
+            "        GUARDED[key] = value\n"
+            "def register_thing(key, value):\n"
+            "    PENDING[key] = value\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        hits = [v for v in report.violations
+                if v.rule == "worker-shared-state"]
+        assert len(hits) == 1
+        assert hits[0].path == "src/repro/jobs.py" and hits[0].line == 6
+        assert "'PENDING'" in hits[0].message
+
+    def test_suppression_comment_honored(self, tmp_path):
+        _write(
+            tmp_path, "src/sup.py",
+            "def f(atpg):\n"
+            "    atpg.run(batch_fills=True)  # repro-lint: disable=deprecated-flags\n"
+            "    # repro-lint: disable=deprecated-flags\n"
+            "    atpg.run(batch_fills=False)\n",
+        )
+        report = run_lint(tmp_path, paths=[tmp_path / "src"])
+        assert not report.violations
+        assert report.suppressed == 2
+
+
+# ----------------------------------------------------------------------
+# Whole-repo contracts
+# ----------------------------------------------------------------------
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestRepoContracts:
+    def test_head_is_clean(self):
+        """The acceptance bar: zero violations on the repo itself."""
+        report = run_lint(REPO_ROOT)
+        assert report.errors == []
+        assert report.violations == [], "\n".join(
+            v.format() for v in report.violations
+        )
+
+    def test_no_suppressions_needed_in_src(self):
+        report = run_lint(REPO_ROOT, paths=[REPO_ROOT / "src"])
+        assert report.violations == []
+        assert report.suppressed == 0
+
+    def test_telemetry_counters_emitted(self, tmp_path):
+        _write(tmp_path, "src/ok.py", "x = 1\n")
+        recorder = Recorder(run_id="lint-test")
+        with use_recorder(recorder):
+            run_lint(tmp_path, paths=[tmp_path / "src"],
+                     rules=["deprecated-flags"])
+        counters = recorder.metrics.counters
+        assert counters.get("lint.files") == 1
+        assert counters.get("lint.violations") == 0
+
+    def test_rule_registry_complete(self):
+        assert {
+            "ir-verify", "deprecated-flags", "dict-engine-hotpath",
+            "store-open", "unordered-iteration", "span-pairing",
+            "bounded-cache", "worker-shared-state",
+        } <= set(RULES)
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes and report formats
+# ----------------------------------------------------------------------
+class TestLintCli:
+    def test_exit_zero_and_summary_on_clean_tree(self, tmp_path, capsys):
+        _write(tmp_path, "src/ok.py", "x = 1\n")
+        code = main(["lint", "--root", str(tmp_path), str(tmp_path / "src")])
+        assert code == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_exit_one_and_parseable_lines_on_violations(
+        self, tmp_path, capsys
+    ):
+        _write(
+            tmp_path, "src/bad.py",
+            "def f(atpg):\n    atpg.run(batch_fills=True)\n",
+        )
+        code = main(["lint", "--root", str(tmp_path), str(tmp_path / "src")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "src/bad.py:2: deprecated-flags " in out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        _write(tmp_path, "src/ok.py", "x = 1\n")
+        code = main([
+            "lint", "--root", str(tmp_path), str(tmp_path / "src"),
+            "--rules", "no-such-rule",
+        ])
+        assert code == 2
+        assert "unknown rule(s)" in capsys.readouterr().out
+
+    def test_exit_two_on_unparseable_file(self, tmp_path, capsys):
+        _write(tmp_path, "src/broken.py", "def f(:\n")
+        code = main(["lint", "--root", str(tmp_path), str(tmp_path / "src")])
+        assert code == 2
+        assert "unparseable" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        _write(
+            tmp_path, "src/bad.py",
+            "def f(atpg):\n    atpg.run(batch_fills=True)\n",
+        )
+        code = main([
+            "lint", "--root", str(tmp_path), str(tmp_path / "src"),
+            "--format", "json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1 and payload["exit_code"] == 1
+        [violation] = payload["violations"]
+        assert violation["rule"] == "deprecated-flags"
+        assert violation["path"] == "src/bad.py"
+        assert violation["line"] == 2
+
+    def test_fix_hints(self, tmp_path, capsys):
+        _write(
+            tmp_path, "src/bad.py",
+            "def f(atpg):\n    atpg.run(batch_fills=True)\n",
+        )
+        code = main([
+            "lint", "--root", str(tmp_path), str(tmp_path / "src"),
+            "--fix-hints",
+        ])
+        assert code == 1
+        assert "hint: select backends with engine=" in capsys.readouterr().out
+
+    def test_rule_selection(self, tmp_path, capsys):
+        _write(
+            tmp_path, "src/bad.py",
+            "def f(atpg):\n    atpg.run(batch_fills=True)\n_X_CACHE = {}\n",
+        )
+        code = main([
+            "lint", "--root", str(tmp_path), str(tmp_path / "src"),
+            "--rules", "bounded-cache",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bounded-cache" in out and "deprecated-flags" not in out

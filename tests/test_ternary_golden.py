@@ -24,6 +24,7 @@ import random
 import numpy as np
 import pytest
 
+from repro import pipeline
 from repro.circuits.atpg import PodemAtpg
 from repro.circuits.faults import collapse_faults
 from repro.circuits.generator import random_netlist
@@ -36,7 +37,6 @@ from repro.circuits.simulator import (
 from repro.circuits.ternary import ternary_state_to_dict
 from repro.config import CompressionConfig
 from repro.context import CompressionContext
-from repro import pipeline
 from repro.decompressor.architecture import simulate_decompression
 from repro.skip.segments import WindowSegmentation
 from repro.skip.selection import (
@@ -273,8 +273,8 @@ class TestPodemGolden:
         netlist = random_netlist(
             f"randp{seed}", num_inputs=16, num_gates=90, seed=seed
         )
-        packed = PodemAtpg(netlist, use_packed=True).run()
-        reference = PodemAtpg(netlist, use_packed=False).run()
+        packed = PodemAtpg(netlist, engine="packed").run()
+        reference = PodemAtpg(netlist, engine="reference").run()
         _assert_results_identical(packed, reference)
 
     @pytest.mark.parametrize("seed", [7, 8, 9, 10])
@@ -282,8 +282,8 @@ class TestPodemGolden:
         netlist = random_netlist(
             f"randq{seed}", num_inputs=18, num_gates=110, seed=seed
         )
-        events = PodemAtpg(netlist, use_events=True).run()
-        full_pass = PodemAtpg(netlist, use_events=False).run()
+        events = PodemAtpg(netlist, engine="events").run()
+        full_pass = PodemAtpg(netlist, engine="packed").run()
         _assert_results_identical(events, full_pass)
 
     @pytest.mark.parametrize("seed", [12, 13, 14])
@@ -292,15 +292,15 @@ class TestPodemGolden:
             f"randd{seed}", num_inputs=20, num_gates=120, seed=seed
         )
         atpg = PodemAtpg(netlist)
-        batched = atpg.run(fill_seed=seed, batch_fills=True)
-        per_pattern = atpg.run(fill_seed=seed, batch_fills=False)
+        batched = atpg.run(fill_seed=seed, fills="batched")
+        per_pattern = atpg.run(fill_seed=seed, fills="per-pattern")
         _assert_results_identical(batched, per_pattern)
 
     def test_batched_drops_identical_without_fault_dropping(self):
         netlist = random_netlist("randnd", num_inputs=14, num_gates=60, seed=15)
         atpg = PodemAtpg(netlist)
-        batched = atpg.run(fault_dropping=False, batch_fills=True)
-        per_pattern = atpg.run(fault_dropping=False, batch_fills=False)
+        batched = atpg.run(fault_dropping=False, fills="batched")
+        per_pattern = atpg.run(fault_dropping=False, fills="per-pattern")
         _assert_results_identical(batched, per_pattern)
 
     def test_small_fill_block_forces_mid_run_flushes(self):
@@ -311,7 +311,7 @@ class TestPodemGolden:
 
         netlist = random_netlist("randfl", num_inputs=16, num_gates=80, seed=16)
         atpg = PodemAtpg(netlist)
-        per_pattern = atpg.run(batch_fills=False)
+        per_pattern = atpg.run(fills="per-pattern")
         original_init = FaultSimulator.__init__
 
         def tiny_width_init(self, *args, **kwargs):
@@ -319,7 +319,7 @@ class TestPodemGolden:
             original_init(self, *args, **kwargs)
 
         with patch.object(FaultSimulator, "__init__", tiny_width_init):
-            batched = atpg.run(batch_fills=True)
+            batched = atpg.run(fills="batched")
         _assert_results_identical(batched, per_pattern)
 
     def test_masked_fill_force_count_reconciles(self, monkeypatch):
@@ -345,8 +345,8 @@ class TestPodemGolden:
         )
         netlist = random_netlist("randmk", num_inputs=14, num_gates=70, seed=17)
         atpg = PodemAtpg(netlist)
-        for batch in (True, False):
-            result = atpg.run(batch_fills=batch)
+        for fills in ("batched", "per-pattern"):
+            result = atpg.run(fills=fills)
             # Nothing is ever detected by simulation, so the detected list
             # is exactly the (force-counted) targets of the generated cubes.
             assert len(result.detected) == len(result.test_set.cubes)
@@ -459,8 +459,8 @@ class TestBatchedDecompressorGolden:
             encoded.substrate.phase_shifter,
             encoded.substrate.architecture,
         )
-        batched = simulate_decompression(*args, batched=True)
-        reference = simulate_decompression(*args, batched=False)
+        batched = simulate_decompression(*args, engine="events")
+        reference = simulate_decompression(*args, engine="reference")
         assert batched.seeds_applied == reference.seeds_applied
         assert batched.vectors_applied == reference.vectors_applied
         assert batched.useful_vectors == reference.useful_vectors

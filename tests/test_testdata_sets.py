@@ -1,7 +1,6 @@
 """Tests for test sets, profiles, synthetic generation and literature data."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.testdata import literature
 from repro.testdata.cube import TestCube
@@ -29,7 +28,6 @@ def small_set():
 
 class TestPackedMatrices:
     def test_matches_per_cube_stacking(self):
-        import numpy as np
 
         ts = small_set()
         cares, values = ts.packed_matrices()
